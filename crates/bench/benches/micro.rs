@@ -1,0 +1,158 @@
+//! Micro-benchmarks of the core components (Criterion).
+//!
+//! These measure the *host-side* cost of the hot paths (codec, map, cache,
+//! simulator), complementing the `repro` binary, which measures *simulated
+//! disk time*.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ld_core::{ListHints, LogicalDisk, Pred, PredList};
+use simdisk::{BlockDev, MemDisk, SimDisk};
+
+fn compressible(len: usize) -> Vec<u8> {
+    ld_bench::workload::compressible_data(len, 0xBE)
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldcomp");
+    let data = compressible(4096);
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("compress_4k", |b| b.iter(|| ldcomp::compress(&data)));
+    let packed = ldcomp::compress(&data);
+    g.bench_function("decompress_4k", |b| {
+        b.iter(|| ldcomp::decompress(&packed).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_simdisk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simdisk");
+    g.bench_function("write_4k_random", |b| {
+        let mut disk = SimDisk::hp_c3010_with_capacity(64 << 20);
+        let block = vec![7u8; 4096];
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 2654435761 + 17) % (disk.total_sectors() / 8 - 1);
+            disk.write_sectors(i * 8, &block).expect("write");
+        })
+    });
+    g.bench_function("write_512k_segment", |b| {
+        let mut disk = SimDisk::hp_c3010_with_capacity(256 << 20);
+        let seg = vec![7u8; 512 << 10];
+        let mut s = 0u64;
+        b.iter(|| {
+            disk.write_sectors(s, &seg).expect("write");
+            s = (s + 1024) % (disk.total_sectors() - 1024);
+        })
+    });
+    g.finish();
+}
+
+fn bench_lld(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lld");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("write_block_4k", |b| {
+        let disk = MemDisk::with_capacity(512 << 20);
+        let mut ld = lld::Lld::format(disk, lld::LldConfig::small_for_tests()).expect("format");
+        let lid = ld
+            .new_list(PredList::Start, ListHints::default())
+            .expect("list");
+        // A pool of blocks overwritten round-robin so the disk never fills.
+        let mut bids = Vec::new();
+        let mut pred = Pred::Start;
+        for _ in 0..256 {
+            let bid = ld.new_block(lid, pred).expect("alloc");
+            bids.push(bid);
+            pred = Pred::After(bid);
+        }
+        let data = compressible(4096);
+        let mut i = 0usize;
+        b.iter(|| {
+            ld.write(bids[i % bids.len()], &data).expect("write");
+            i += 1;
+        })
+    });
+    g.bench_function("alloc_free_block", |b| {
+        let disk = MemDisk::with_capacity(64 << 20);
+        let mut ld = lld::Lld::format(disk, lld::LldConfig::small_for_tests()).expect("format");
+        let lid = ld
+            .new_list(PredList::Start, ListHints::default())
+            .expect("list");
+        b.iter(|| {
+            let bid = ld.new_block(lid, Pred::Start).expect("alloc");
+            ld.delete_block(bid, lid, None).expect("free");
+        })
+    });
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(20);
+    // Build a populated image once; recovery re-opens it per iteration.
+    let disk = MemDisk::with_capacity(32 << 20);
+    let mut ld = lld::Lld::format(disk, lld::LldConfig::small_for_tests()).expect("format");
+    let lid = ld
+        .new_list(PredList::Start, ListHints::default())
+        .expect("list");
+    let data = compressible(4096);
+    let mut pred = Pred::Start;
+    for _ in 0..1024 {
+        let bid = ld.new_block(lid, pred).expect("alloc");
+        ld.write(bid, &data).expect("write");
+        pred = Pred::After(bid);
+    }
+    ld.flush(ld_core::FailureSet::PowerFailure).expect("flush");
+
+    // No clean shutdown happened, so every open performs the one-sweep
+    // recovery. The sweep does not mutate the medium, so the same device
+    // can be threaded through the iterations.
+    let mut slot = Some(ld.into_disk());
+    g.bench_function("sweep_32mb", |b| {
+        b.iter(|| {
+            let disk = slot.take().expect("device threaded through");
+            let l = lld::Lld::open(disk, lld::LldConfig::small_for_tests()).expect("open");
+            assert!(!l.stats().recovered_from_checkpoint);
+            slot = Some(l.into_disk());
+        })
+    });
+    g.finish();
+}
+
+fn bench_fsutil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fsutil");
+    g.bench_function("dirent_search_full_block", |b| {
+        let mut block = vec![0u8; 4096];
+        for i in 0..(4096 / fsutil::dirent::DIRENT_SIZE) {
+            let name = format!("file{i:04}");
+            fsutil::dirent::encode(
+                (i + 1) as u32,
+                &name,
+                &mut block[i * fsutil::dirent::DIRENT_SIZE..(i + 1) * fsutil::dirent::DIRENT_SIZE],
+            );
+        }
+        b.iter(|| fsutil::dirent::find_in_block(&block, "file0127"))
+    });
+    g.bench_function("bitmap_alloc_near", |b| {
+        let mut bm = fsutil::Bitmap::new(100_000);
+        let mut i = 0usize;
+        b.iter(|| {
+            if bm.free() == 0 {
+                bm = fsutil::Bitmap::new(100_000);
+            }
+            i = (i + 12_345) % 100_000;
+            bm.alloc_near(i)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compression,
+    bench_simdisk,
+    bench_lld,
+    bench_fsutil,
+    bench_recovery
+);
+criterion_main!(benches);

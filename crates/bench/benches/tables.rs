@@ -1,0 +1,71 @@
+//! Criterion wrappers around scaled-down versions of the paper's two
+//! microbenchmarks (Tables 4 and 5), one benchmark per file system column.
+//!
+//! These track *host* performance of the whole stack over time; the
+//! authoritative table regeneration (simulated time, paper scale) is the
+//! `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ld_bench::driver::{MinixLld, MinixRaw, Sunos};
+use ld_bench::exp::phases::{large_file, small_file};
+use ld_bench::rig;
+
+const DISK: u64 = 64 << 20;
+
+fn bench_small_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_small_file");
+    g.sample_size(10);
+    g.bench_function("minix_lld_100x1k", |b| {
+        b.iter_batched(
+            || MinixLld(rig::minix_lld(DISK)),
+            |mut fs| small_file(&mut fs, 100, 1 << 10),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("minix_100x1k", |b| {
+        b.iter_batched(
+            || MinixRaw(rig::minix(DISK)),
+            |mut fs| small_file(&mut fs, 100, 1 << 10),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("sunos_100x1k", |b| {
+        b.iter_batched(
+            || Sunos(rig::sunos(DISK)),
+            |mut fs| small_file(&mut fs, 100, 1 << 10),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_large_file(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_large_file");
+    g.sample_size(10);
+    g.bench_function("minix_lld_4mb", |b| {
+        b.iter_batched(
+            || MinixLld(rig::minix_lld(DISK)),
+            |mut fs| large_file(&mut fs, 4 << 20, 8192),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("minix_4mb", |b| {
+        b.iter_batched(
+            || MinixRaw(rig::minix(DISK)),
+            |mut fs| large_file(&mut fs, 4 << 20, 8192),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("sunos_4mb", |b| {
+        b.iter_batched(
+            || Sunos(rig::sunos(DISK)),
+            |mut fs| large_file(&mut fs, 4 << 20, 8192),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_small_file, bench_large_file);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! repro [--quick] all
+//! ```
+//!
+//! Experiments: `calibrate` (E12), `table2` (E1), `table3` (E2), `table4`
+//! (E3), `table5` (E4), `table6` (E5), `recovery` (E6), `lists` (E7),
+//! `segsize` (E8), `inodes` (E9), `compression` (E10), `loge` (E11),
+//! `ablate` (E13). See `DESIGN.md` for the index and `EXPERIMENTS.md` for
+//! recorded results.
+
+use ld_bench::exp::{self, Opts};
+
+const ALL: &[&str] = &[
+    "calibrate",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "recovery",
+    "lists",
+    "segsize",
+    "inodes",
+    "compression",
+    "loge",
+    "nvram",
+    "hotcold",
+    "ablate",
+];
+
+fn dispatch(name: &str, opts: Opts) -> Option<String> {
+    Some(match name {
+        "calibrate" => exp::calibrate::run(opts),
+        "table2" => exp::table2::run(opts),
+        "table3" => exp::table3::run(opts),
+        "table4" => exp::table4::run(opts),
+        "table5" => exp::table5::run(opts),
+        "table6" => exp::table6::run(opts),
+        "recovery" => exp::recovery::run(opts),
+        "lists" => exp::lists::run(opts),
+        "segsize" => exp::segsize::run(opts),
+        "inodes" => exp::inodes::run(opts),
+        "compression" => exp::compression::run(opts),
+        "loge" => exp::loge_cmp::run(opts),
+        "nvram" => exp::nvram_exp::run(opts),
+        "hotcold" => exp::hotcold::run(opts),
+        "ablate" => exp::ablate::run(opts),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let opts = Opts { quick };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if wanted.is_empty() || wanted.contains(&"help") {
+        eprintln!("usage: repro [--quick] <experiment>... | all");
+        eprintln!("experiments: {}", ALL.join(" "));
+        std::process::exit(if wanted.is_empty() { 2 } else { 0 });
+    }
+
+    let list: Vec<&str> = if wanted.contains(&"all") {
+        ALL.to_vec()
+    } else {
+        wanted
+    };
+
+    for (i, name) in list.iter().enumerate() {
+        match dispatch(name, opts) {
+            Some(out) => {
+                if i > 0 {
+                    println!("\n{}\n", "=".repeat(72));
+                }
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

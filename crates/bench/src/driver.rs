@@ -1,0 +1,145 @@
+//! A uniform driver over the three file systems so one benchmark loop can
+//! run all columns of Tables 4 and 5.
+//!
+//! The harness panics on file-system errors: an error mid-benchmark means
+//! the rig is misconfigured, and there is nothing useful to continue with.
+
+use ffs::Ffs;
+use minix_fs::MinixFs;
+use simdisk::{DiskStats, SimDisk};
+
+/// What a benchmark needs from a file system.
+pub trait Bencher {
+    /// Human-readable column label.
+    fn label(&self) -> &'static str;
+
+    /// Creates an empty file; returns a handle.
+    fn create(&mut self, path: &str) -> u32;
+
+    /// Opens an existing file.
+    fn open(&mut self, path: &str) -> u32;
+
+    /// Writes at an offset.
+    fn write(&mut self, handle: u32, offset: u64, data: &[u8]);
+
+    /// Reads at an offset; returns bytes read.
+    fn read(&mut self, handle: u32, offset: u64, buf: &mut [u8]) -> usize;
+
+    /// Removes a file.
+    fn unlink(&mut self, path: &str);
+
+    /// Flushes everything dirty.
+    fn sync(&mut self);
+
+    /// Flushes and empties the buffer cache (between phases, §4.2).
+    fn drop_caches(&mut self);
+
+    /// Simulated time in microseconds.
+    fn now_us(&self) -> u64;
+
+    /// Disk statistics snapshot.
+    fn disk_stats(&self) -> DiskStats;
+}
+
+/// MINIX over the raw store, with disk-stat access.
+pub struct MinixRaw(pub MinixFs<minix_fs::RawStore<SimDisk>>);
+/// MINIX over the LD store, with disk-stat access.
+pub struct MinixLld(pub MinixFs<minix_fs::LdStore<SimDisk>>);
+/// The FFS baseline.
+pub struct Sunos(pub Ffs<SimDisk>);
+
+macro_rules! delegate_minix {
+    ($t:ty, $label:expr) => {
+        impl Bencher for $t {
+            fn label(&self) -> &'static str {
+                $label
+            }
+            fn create(&mut self, path: &str) -> u32 {
+                self.0.create(path).expect("create")
+            }
+            fn open(&mut self, path: &str) -> u32 {
+                self.0.lookup(path).expect("lookup")
+            }
+            fn write(&mut self, handle: u32, offset: u64, data: &[u8]) {
+                self.0.write(handle, offset, data).expect("write");
+            }
+            fn read(&mut self, handle: u32, offset: u64, buf: &mut [u8]) -> usize {
+                self.0.read(handle, offset, buf).expect("read")
+            }
+            fn unlink(&mut self, path: &str) {
+                self.0.unlink(path).expect("unlink");
+            }
+            fn sync(&mut self) {
+                self.0.sync().expect("sync");
+            }
+            fn drop_caches(&mut self) {
+                self.0.drop_caches().expect("drop_caches");
+            }
+            fn now_us(&self) -> u64 {
+                self.0.now_us()
+            }
+            fn disk_stats(&self) -> DiskStats {
+                *self.0.store().disk().stats()
+            }
+        }
+    };
+}
+
+delegate_minix!(MinixRaw, "MINIX");
+delegate_minix!(MinixLld, "MINIX LLD");
+
+impl MinixRaw {
+    /// Direct store access.
+    pub fn store(&self) -> &minix_fs::RawStore<SimDisk> {
+        self.0.store()
+    }
+}
+
+impl MinixLld {
+    /// Direct store access (for LLD stats).
+    pub fn store(&self) -> &minix_fs::LdStore<SimDisk> {
+        self.0.store()
+    }
+}
+
+impl Bencher for Sunos {
+    fn label(&self) -> &'static str {
+        "SunOS"
+    }
+
+    fn create(&mut self, path: &str) -> u32 {
+        self.0.create(path).expect("create")
+    }
+
+    fn open(&mut self, path: &str) -> u32 {
+        self.0.lookup(path).expect("lookup")
+    }
+
+    fn write(&mut self, handle: u32, offset: u64, data: &[u8]) {
+        self.0.write(handle, offset, data).expect("write");
+    }
+
+    fn read(&mut self, handle: u32, offset: u64, buf: &mut [u8]) -> usize {
+        self.0.read(handle, offset, buf).expect("read")
+    }
+
+    fn unlink(&mut self, path: &str) {
+        self.0.unlink(path).expect("unlink");
+    }
+
+    fn sync(&mut self) {
+        self.0.sync().expect("sync");
+    }
+
+    fn drop_caches(&mut self) {
+        self.0.drop_caches().expect("drop_caches");
+    }
+
+    fn now_us(&self) -> u64 {
+        self.0.now_us()
+    }
+
+    fn disk_stats(&self) -> DiskStats {
+        *self.0.disk().stats()
+    }
+}

@@ -1,0 +1,127 @@
+//! E10 — compression (§4.2): "we measured the throughput of MINIX LLD
+//! with compression; the write throughput was 1600 Kbyte per second, and
+//! the read throughput was 800 Kbyte per second. The write throughput is
+//! within 21% of the throughput without compression; this is because one
+//! segment can be compressed while the previous segment is being written
+//! to disk. The read throughput is low because we cannot overlap reading
+//! and decompression."
+
+use minix_fs::{FsConfig, LdStore, MinixFs};
+
+use crate::report::{kb_per_s, Table};
+use crate::rig;
+use crate::workload::compressible_data;
+
+fn throughputs(disk_bytes: u64, file_bytes: u64, compress: bool) -> (f64, f64, f64) {
+    let store = if compress {
+        LdStore::format_compressed(rig::disk_sized(disk_bytes), rig::lld_config())
+    } else {
+        LdStore::format(rig::disk_sized(disk_bytes), rig::lld_config())
+    }
+    .expect("format");
+    let mut fs = MinixFs::format(
+        store,
+        FsConfig {
+            ..rig::minix_config()
+        },
+    )
+    .expect("format fs");
+
+    let chunk = 8192usize;
+    let data = compressible_data(chunk, 0xC0);
+    let ino = fs.create("/big").expect("create");
+    let t0 = fs.now_us();
+    for i in 0..(file_bytes / chunk as u64) {
+        fs.write(ino, i * chunk as u64, &data).expect("write");
+    }
+    fs.sync().expect("sync");
+    let write_kbs = kb_per_s(file_bytes, fs.now_us() - t0);
+
+    fs.drop_caches().expect("drop");
+    let mut buf = vec![0u8; chunk];
+    let t0 = fs.now_us();
+    for i in 0..(file_bytes / chunk as u64) {
+        fs.read(ino, i * chunk as u64, &mut buf).expect("read");
+    }
+    let read_kbs = kb_per_s(file_bytes, fs.now_us() - t0);
+
+    // Actual on-medium compression ratio.
+    let s = fs.store().lld().stats();
+    let ratio = if s.user_bytes_written == 0 {
+        1.0
+    } else {
+        s.stored_bytes_written as f64 / s.user_bytes_written as f64
+    };
+    (write_kbs, read_kbs, ratio)
+}
+
+/// Measures sequential throughput with and without transparent
+/// compression.
+pub fn run(opts: super::Opts) -> String {
+    let (disk_bytes, file_bytes) = if opts.quick {
+        (96u64 << 20, 8u64 << 20)
+    } else {
+        (rig::PARTITION_BYTES, 48 << 20)
+    };
+    let (w_plain, r_plain, _) = throughputs(disk_bytes, file_bytes, false);
+    let (w_comp, r_comp, ratio) = throughputs(disk_bytes, file_bytes, true);
+
+    let mut t = Table::new(vec!["configuration", "write KB/s", "read KB/s"]);
+    t.row(vec![
+        "no compression".to_string(),
+        format!("{w_plain:.0}"),
+        format!("{r_plain:.0}"),
+    ]);
+    t.row(vec![
+        "compression".to_string(),
+        format!("{w_comp:.0}"),
+        format!("{r_comp:.0}"),
+    ]);
+    t.row(vec![
+        "paper (compression)".to_string(),
+        "1600".to_string(),
+        "800".to_string(),
+    ]);
+    format!(
+        "E10: transparent compression, {} MB sequential file\n\
+         (measured compression ratio: {:.0}% of original;\n\
+         writes pipeline compression with the previous segment's write,\n\
+         reads serialize read + decompression)\n\n{}",
+        file_bytes >> 20,
+        ratio * 100.0,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_shapes_match_paper() {
+        let (w_plain, r_plain, _) = throughputs(96 << 20, 6 << 20, false);
+        let (w_comp, r_comp, ratio) = throughputs(96 << 20, 6 << 20, true);
+        // Ratio near 60%.
+        assert!((0.40..0.70).contains(&ratio), "ratio {ratio:.2}");
+        // Write loses some throughput but stays within ~40% (paper: 21%).
+        assert!(w_comp < w_plain);
+        assert!(
+            w_comp > 0.55 * w_plain,
+            "write with compression {w_comp:.0} vs without {w_plain:.0}"
+        );
+        // Read pays the serialized decompression: clearly slower.
+        assert!(
+            r_comp < 0.8 * r_plain,
+            "read with compression {r_comp:.0} vs without {r_plain:.0}"
+        );
+        // Absolute bands around the paper's 1600/800 (KB/s).
+        assert!(
+            (1100.0..2100.0).contains(&w_comp),
+            "write {w_comp:.0} KB/s (paper 1600)"
+        );
+        assert!(
+            (500.0..1100.0).contains(&r_comp),
+            "read {r_comp:.0} KB/s (paper 800)"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! E9 — the small-i-node-block variant (§4.2): "We measured a version of
+//! MINIX LLD that allocates each i-node as a small block. ... this version
+//! performs the same for write operations and worse for read operations on
+//! the small-file benchmarks. ... This version of MINIX LLD exhibits the
+//! same performance on the large-file benchmark."
+
+use minix_fs::{FsConfig, InodeMode};
+
+use crate::driver::MinixLld;
+use crate::exp::phases::{large_file, small_file};
+use crate::report::Table;
+use crate::rig;
+
+fn build(disk_bytes: u64, mode: InodeMode) -> MinixLld {
+    let fs_config = FsConfig {
+        inode_mode: mode,
+        ..rig::minix_config()
+    };
+    MinixLld(rig::minix_lld_with(
+        disk_bytes,
+        rig::lld_config(),
+        fs_config,
+    ))
+}
+
+/// Compares packed i-node blocks against 64-byte i-node blocks.
+pub fn run(opts: super::Opts) -> String {
+    let (disk_bytes, n, file_mb) = if opts.quick {
+        (64u64 << 20, 500, 4u64)
+    } else {
+        (rig::PARTITION_BYTES, 5_000, 32)
+    };
+
+    let mut out = String::from(
+        "E9: i-node storage — packed i-node blocks vs 64-byte i-node blocks\n\
+         (paper: create/delete similar, small-file reads worse with small\n\
+         blocks, large-file unchanged)\n\n",
+    );
+
+    let mut t = Table::new(vec!["variant", "C (f/s)", "R (f/s)", "D (f/s)"]);
+    let mut packed = build(disk_bytes, InodeMode::Packed);
+    let rp = small_file(&mut packed, n, 1 << 10);
+    t.row(vec![
+        "packed i-node blocks".to_string(),
+        format!("{:.0}", rp.create_per_s),
+        format!("{:.0}", rp.read_per_s),
+        format!("{:.0}", rp.delete_per_s),
+    ]);
+    let mut small = build(disk_bytes, InodeMode::SmallBlocks);
+    let rs = small_file(&mut small, n, 1 << 10);
+    t.row(vec![
+        "64-byte i-node blocks".to_string(),
+        format!("{:.0}", rs.create_per_s),
+        format!("{:.0}", rs.read_per_s),
+        format!("{:.0}", rs.delete_per_s),
+    ]);
+    out.push_str(&format!("{n} x 1 KB files\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["variant", "seq write KB/s", "seq read KB/s"]);
+    let mut packed = build(disk_bytes, InodeMode::Packed);
+    let lp = large_file(&mut packed, file_mb << 20, 8192);
+    t.row(vec![
+        "packed i-node blocks".to_string(),
+        format!("{:.0}", lp.write_seq),
+        format!("{:.0}", lp.read_seq),
+    ]);
+    let mut small = build(disk_bytes, InodeMode::SmallBlocks);
+    let ls = large_file(&mut small, file_mb << 20, 8192);
+    t.row(vec![
+        "64-byte i-node blocks".to_string(),
+        format!("{:.0}", ls.write_seq),
+        format!("{:.0}", ls.read_seq),
+    ]);
+    out.push_str(&format!("{file_mb} MB large file\n{}", t.render()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inodes_same_large_file_performance() {
+        let mut packed = build(64 << 20, InodeMode::Packed);
+        let lp = large_file(&mut packed, 4 << 20, 8192);
+        let mut small = build(64 << 20, InodeMode::SmallBlocks);
+        let ls = large_file(&mut small, 4 << 20, 8192);
+        // "exhibits the same performance on the large-file benchmark,
+        // since this benchmark operates on a single file".
+        let delta = (lp.write_seq - ls.write_seq).abs() / lp.write_seq;
+        assert!(
+            delta < 0.05,
+            "large-file writes differ by {:.1}%",
+            delta * 100.0
+        );
+    }
+
+    #[test]
+    fn small_inodes_hurt_small_file_reads() {
+        let mut packed = build(48 << 20, InodeMode::Packed);
+        let rp = small_file(&mut packed, 400, 1 << 10);
+        let mut small = build(48 << 20, InodeMode::SmallBlocks);
+        let rs = small_file(&mut small, 400, 1 << 10);
+        assert!(
+            rp.read_per_s > rs.read_per_s,
+            "packed reads {:.0}/s must beat per-i-node reads {:.0}/s \
+             (each i-node read separately)",
+            rp.read_per_s,
+            rs.read_per_s
+        );
+    }
+}

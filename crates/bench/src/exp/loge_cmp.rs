@@ -1,0 +1,136 @@
+//! E11 — the §5.2 comparison with Loge:
+//!
+//! - both Loge and LLD service a stream of individual random block writes
+//!   far faster than update-in-place;
+//! - "recovery in our LLD implementation is at least one order of
+//!   magnitude faster than in Loge, since LLD only reads the segment
+//!   summaries" while Loge reads the whole disk.
+
+use ld_core::{FailureSet, ListHints, LogicalDisk, Pred, PredList};
+use loge::{Loge, LogeConfig};
+use simdisk::BlockDev;
+
+use crate::report::{kb_per_s, secs, Table};
+use crate::rig;
+use crate::workload::{compressible_data, shuffled};
+
+/// Runs the random-write-stream and recovery comparisons.
+pub fn run(opts: super::Opts) -> String {
+    let (disk_bytes, nblocks) = if opts.quick {
+        (64u64 << 20, 1_000usize)
+    } else {
+        (rig::PARTITION_BYTES, 4_000)
+    };
+    let block = 4096usize;
+    let data = compressible_data(block, 0x10E6);
+    let span = 20_000usize.min(nblocks * 4); // Logical address span.
+
+    // --- random single-block write stream ---
+
+    // Update-in-place baseline.
+    let mut disk = rig::disk_sized(disk_bytes);
+    let order = shuffled(span, 1);
+    let t0 = disk.now_us();
+    for &i in order.iter().take(nblocks) {
+        disk.write_sectors((i * 8) as u64, &data).expect("write");
+    }
+    let inplace_kbs = kb_per_s((nblocks * block) as u64, disk.now_us() - t0);
+
+    // Loge.
+    let mut lg =
+        Loge::format(rig::disk_sized(disk_bytes), LogeConfig::default()).expect("format loge");
+    let t0 = lg.disk().now_us();
+    for &i in order.iter().take(nblocks) {
+        lg.write((i % span) as u32, &data).expect("write");
+    }
+    let loge_kbs = kb_per_s((nblocks * block) as u64, lg.disk().now_us() - t0);
+
+    // LLD (block interface directly).
+    let mut ld =
+        lld::Lld::format(rig::disk_sized(disk_bytes), rig::lld_config()).expect("format lld");
+    let lid = ld
+        .new_list(PredList::Start, ListHints::default())
+        .expect("list");
+    let mut bids = Vec::with_capacity(span);
+    let mut pred = Pred::Start;
+    for _ in 0..span {
+        let b = ld.new_block(lid, pred).expect("alloc");
+        bids.push(b);
+        pred = Pred::After(b);
+    }
+    let t0 = ld.disk().now_us();
+    for &i in order.iter().take(nblocks) {
+        ld.write(bids[i % span], &data).expect("write");
+    }
+    ld.flush(FailureSet::PowerFailure).expect("flush");
+    let lld_kbs = kb_per_s((nblocks * block) as u64, ld.disk().now_us() - t0);
+
+    // --- recovery ---
+
+    // Loge: whole-disk scan.
+    let mut d = lg.into_disk();
+    d.crash_now();
+    d.revive();
+    let lg = Loge::recover(d, LogeConfig::default()).expect("loge recovery");
+    let loge_rec_us = lg.stats().recovery_us;
+
+    // LLD: summary sweep.
+    let config = ld.config().clone();
+    let mut d = ld.into_disk();
+    d.crash_now();
+    d.revive();
+    let ld = lld::Lld::open(d, config).expect("lld recovery");
+    let lld_rec_us = ld.stats().recovery_us;
+
+    let mut t = Table::new(vec!["system", "random 4KB writes (KB/s)", "recovery (s)"]);
+    t.row(vec![
+        "update-in-place".to_string(),
+        format!("{inplace_kbs:.0}"),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        "Loge".to_string(),
+        format!("{loge_kbs:.0}"),
+        secs(loge_rec_us),
+    ]);
+    t.row(vec![
+        "LLD".to_string(),
+        format!("{lld_kbs:.0}"),
+        secs(lld_rec_us),
+    ]);
+    format!(
+        "E11: Loge comparison ({} MB disk, {} random block writes)\n\
+         (paper §5.2: both beat update-in-place on write streams; LLD recovery\n\
+         is ≥10x faster because Loge must scan the whole disk)\n\
+         Recovery ratio: {:.0}x\n\n{}",
+        disk_bytes >> 20,
+        nblocks,
+        loge_rec_us as f64 / lld_rec_us.max(1) as f64,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loge_relations_hold_quick() {
+        let out = super::run(super::super::Opts { quick: true });
+        // Extract the recovery ratio line.
+        let line = out
+            .lines()
+            .find(|l| l.contains("Recovery ratio"))
+            .expect("ratio line");
+        let ratio: f64 = line
+            .split_whitespace()
+            .last()
+            .expect("value")
+            .trim_end_matches('x')
+            .parse()
+            .expect("numeric");
+        assert!(
+            ratio >= 10.0,
+            "LLD recovery must be at least 10x faster than Loge's whole-disk \
+             scan (got {ratio:.0}x)"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! The experiments (E1–E13). Each module regenerates one paper artifact;
+//! `phases` holds the two Sprite-LFS microbenchmark drivers shared by
+//! several of them.
+
+pub mod ablate;
+pub mod calibrate;
+pub mod compression;
+pub mod hotcold;
+pub mod inodes;
+pub mod lists;
+pub mod loge_cmp;
+pub mod nvram_exp;
+pub mod phases;
+pub mod recovery;
+pub mod segsize;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+/// Global experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Scale down the workloads (~10×) for a fast smoke run.
+    pub quick: bool,
+}

@@ -1,0 +1,127 @@
+//! E14 — NVRAM extension (§5.3, after Baker et al. 1992): "with 0.5 Mbyte
+//! of NVRAM the number of partially written segments can be reduced
+//! considerably; the number of disk accesses can be reduced by about
+//! 20% ... We expect that similar results can be obtained for LLD."
+//!
+//! A sync-heavy small-file workload (every file fsync'd, the worst case
+//! §3.2 worries about) runs against MINIX LLD with varying NVRAM sizes.
+
+use minix_fs::{FsConfig, LdStore, MinixFs};
+
+use crate::report::{ops_per_s, Table};
+use crate::rig;
+use crate::workload::compressible_data;
+
+struct Row {
+    nvram_kb: usize,
+    partials: u64,
+    nvram_saves: u64,
+    disk_ops: u64,
+    files_per_s: f64,
+}
+
+fn run_one(disk_bytes: u64, nfiles: usize, nvram_bytes: usize) -> Row {
+    let disk = rig::disk_sized(disk_bytes).with_nvram(nvram_bytes);
+    let store = LdStore::format(disk, rig::lld_config()).expect("format");
+    let mut fs = MinixFs::format(
+        store,
+        FsConfig {
+            ..rig::minix_config()
+        },
+    )
+    .expect("mkfs");
+    let data = compressible_data(2 << 10, 0x4E);
+
+    let ops_before = {
+        let s = fs.store().disk().stats();
+        s.read_ops + s.write_ops
+    };
+    let t0 = fs.now_us();
+    for i in 0..nfiles {
+        let ino = fs.create(&format!("/f{i:05}")).expect("create");
+        fs.write(ino, 0, &data).expect("write");
+        // fsync after every file: the flush-heavy pattern NVRAM absorbs.
+        fs.sync().expect("sync");
+    }
+    let elapsed = fs.now_us() - t0;
+    let s = fs.store().disk().stats();
+    let lld = fs.store().lld().stats();
+    Row {
+        nvram_kb: nvram_bytes >> 10,
+        partials: lld.partial_segment_writes,
+        nvram_saves: lld.nvram_saves,
+        disk_ops: s.read_ops + s.write_ops - ops_before,
+        files_per_s: ops_per_s(nfiles as u64, elapsed),
+    }
+}
+
+/// Sweeps the NVRAM size over the fsync-per-file workload.
+pub fn run(opts: super::Opts) -> String {
+    let (disk_bytes, nfiles) = if opts.quick {
+        (64u64 << 20, 300)
+    } else {
+        (rig::PARTITION_BYTES, 2_000)
+    };
+    let rows: Vec<Row> = [0usize, 128 << 10, 512 << 10]
+        .into_iter()
+        .map(|nv| run_one(disk_bytes, nfiles, nv))
+        .collect();
+    let base_ops = rows[0].disk_ops;
+
+    let mut t = Table::new(vec![
+        "NVRAM",
+        "partial seg writes",
+        "NVRAM saves",
+        "disk ops",
+        "vs none",
+        "files/s",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            if r.nvram_kb == 0 {
+                "none".to_string()
+            } else {
+                format!("{} KB", r.nvram_kb)
+            },
+            r.partials.to_string(),
+            r.nvram_saves.to_string(),
+            r.disk_ops.to_string(),
+            format!(
+                "{:+.0}%",
+                100.0 * (r.disk_ops as f64 - base_ops as f64) / base_ops as f64
+            ),
+            format!("{:.0}", r.files_per_s),
+        ]);
+    }
+    format!(
+        "E14: NVRAM extension — {} files, fsync after every file\n\
+         (Baker et al. via §5.3: 0.5 MB NVRAM removes most partial segment\n\
+         writes and cuts disk accesses ~20%)\n\n{}",
+        nfiles,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvram_removes_partials_and_cuts_disk_ops() {
+        let none = run_one(48 << 20, 150, 0);
+        let full = run_one(48 << 20, 150, 512 << 10);
+        assert!(none.partials > 0, "baseline must write partial segments");
+        assert_eq!(
+            full.partials, 0,
+            "0.5 MB NVRAM should absorb every below-threshold flush"
+        );
+        assert!(full.nvram_saves > 0);
+        let cut = 1.0 - full.disk_ops as f64 / none.disk_ops as f64;
+        assert!(
+            cut > 0.10,
+            "disk ops should drop noticeably (got {:.0}%)",
+            cut * 100.0
+        );
+        assert!(full.files_per_s > none.files_per_s);
+    }
+}

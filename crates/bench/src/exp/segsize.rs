@@ -1,0 +1,87 @@
+//! E8 — segment-size sweep (§4.2): "The differences in performance for
+//! 128-Kbyte, 256-Kbyte, and 512-Kbyte segments are within a few percent.
+//! Smaller segment sizes result in a loss of write performance. For
+//! 64-Kbyte segments we measured a reduction in write performance of 23%."
+
+use crate::driver::{Bencher, MinixLld};
+use crate::report::Table;
+use crate::rig;
+use crate::workload::compressible_data;
+
+fn seq_write_kbs(disk_bytes: u64, file_bytes: u64, segment_bytes: usize) -> f64 {
+    let lld_config = lld::LldConfig {
+        segment_bytes,
+        ..rig::lld_config()
+    };
+    let mut fs = MinixLld(rig::minix_lld_with(
+        disk_bytes,
+        lld_config,
+        rig::minix_config(),
+    ));
+    let chunk = 8192;
+    let data = compressible_data(chunk, 0x5E6);
+    let h = fs.create("/big");
+    let t0 = fs.now_us();
+    for i in 0..(file_bytes / chunk as u64) {
+        fs.write(h, i * chunk as u64, &data);
+    }
+    fs.sync();
+    crate::report::kb_per_s(file_bytes, fs.now_us() - t0)
+}
+
+/// Sweeps the segment size over the sequential-write benchmark.
+pub fn run(opts: super::Opts) -> String {
+    let (disk_bytes, file_bytes) = if opts.quick {
+        (96u64 << 20, 8 << 20)
+    } else {
+        (rig::PARTITION_BYTES, 64 << 20)
+    };
+    let sizes = [64usize, 128, 256, 512];
+    let results: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&kb| (kb, seq_write_kbs(disk_bytes, file_bytes, kb << 10)))
+        .collect();
+    let base = results.last().expect("non-empty").1;
+
+    let mut t = Table::new(vec!["segment size", "write KB/s", "vs 512 KB"]);
+    for (kb, kbs) in &results {
+        t.row(vec![
+            format!("{kb} KB"),
+            format!("{kbs:.0}"),
+            format!("{:+.0}%", 100.0 * (kbs - base) / base),
+        ]);
+    }
+    format!(
+        "E8: segment-size sweep, sequential write of {} MB\n\
+         (paper: 128/256/512 KB within a few percent; 64 KB loses 23%)\n\n{}",
+        file_bytes >> 20,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_four_kb_segments_lose_write_performance() {
+        let disk = 128 << 20;
+        let file = 8 << 20;
+        let kbs512 = seq_write_kbs(disk, 16 << 20, 512 << 10);
+        let kbs128 = seq_write_kbs(disk, 16 << 20, 128 << 10);
+        let kbs64 = seq_write_kbs(disk, 16 << 20, 64 << 10);
+        let _ = file;
+        // 128 KB within ~12% of 512 KB.
+        assert!(
+            (kbs512 - kbs128).abs() / kbs512 < 0.12,
+            "128KB {kbs128:.0} vs 512KB {kbs512:.0}"
+        );
+        // 64 KB clearly worse (paper: -23%).
+        let loss = (kbs512 - kbs64) / kbs512;
+        assert!(
+            (0.05..0.45).contains(&loss),
+            "64KB loses {:.0}% (expected near 23%)",
+            loss * 100.0
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! E2 — Table 3: "The percentage cost that LLD adds to the cost of disks
+//! for different prices of main memory and disk space", for the best case
+//! (1.5 MB RAM per GB) and the worst case (4.6 MB RAM per GB).
+
+use lld::{ListGranularity, MemoryModel};
+
+use crate::report::Table;
+
+const GB: u64 = 1 << 30;
+
+/// Renders Table 3.
+pub fn run(_opts: super::Opts) -> String {
+    let best = MemoryModel::paper(GB, 4096, 512 << 10, false, ListGranularity::SingleList);
+    let worst = MemoryModel::paper(
+        GB,
+        4096,
+        512 << 10,
+        true,
+        ListGranularity::PerFile {
+            avg_file_bytes: 8192,
+        },
+    );
+
+    let cell = |ram: f64, disk_price: f64| {
+        format!(
+            "{:.0}% or {:.0}%",
+            best.cost_percentage(GB, ram, disk_price),
+            worst.cost_percentage(GB, ram, disk_price)
+        )
+    };
+
+    let mut t = Table::new(vec![
+        "Price of a Mbyte RAM",
+        "$750 / Gbyte disk",
+        "$1500 / Gbyte disk",
+    ]);
+    t.row(vec![
+        "$30".to_string(),
+        cell(30.0, 750.0),
+        cell(30.0, 1500.0),
+    ]);
+    t.row(vec![
+        "$50".to_string(),
+        cell(50.0, 750.0),
+        cell(50.0, 1500.0),
+    ]);
+
+    format!(
+        "E2: Table 3 — % cost LLD adds to a disk (best case or worst case)\n\
+         (paper: 6%/18%, 3%/9%, 10%/31%, 5%/15%)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table3_reproduces_paper_cells() {
+        let out = super::run(super::super::Opts { quick: true });
+        // Paper cells: $30+$750 → 6%/18%; $50+$750 → 10%/31%;
+        // $30+$1500 → 3%/9%; $50+$1500 → 5%/15%.
+        assert!(out.contains("6% or 18%"), "{out}");
+        assert!(out.contains("10% or 31%"), "{out}");
+        assert!(out.contains("3% or 9%"), "{out}");
+        assert!(out.contains("5% or 15%"), "{out}");
+    }
+}

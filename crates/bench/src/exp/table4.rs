@@ -1,0 +1,121 @@
+//! E3 — Table 4: small-file I/O. "The cost of creating, reading, and
+//! deleting 10,000 1-Kbyte files and 1,000 10-Kbyte files in one
+//! directory", in files per second, for MINIX LLD, MINIX, and SunOS.
+//!
+//! Relations the paper reports (the exact cell values are what this
+//! experiment regenerates):
+//! - create: MINIX LLD > MINIX ("MINIX LLD collects many changes in a
+//!   single write") ≫ SunOS (synchronous creates);
+//! - read: MINIX LLD ≈ MINIX; SunOS worse ("probably ... unsuccessful
+//!   read-ahead");
+//! - delete: MINIX LLD ≈ MINIX ≫ SunOS (synchronous deletes).
+
+use crate::driver::{Bencher, MinixLld, MinixRaw, Sunos};
+use crate::exp::phases::{small_file, SmallFileResult};
+use crate::report::Table;
+use crate::rig;
+
+fn fmt(r: &SmallFileResult) -> [String; 3] {
+    [
+        format!("{:.0}", r.create_per_s),
+        format!("{:.0}", r.read_per_s),
+        format!("{:.0}", r.delete_per_s),
+    ]
+}
+
+/// Runs both file-size variants over all three file systems.
+pub fn run(opts: super::Opts) -> String {
+    let (n_small, n_big) = if opts.quick {
+        (1_000, 100)
+    } else {
+        (10_000, 1_000)
+    };
+    let disk_bytes = rig::PARTITION_BYTES;
+
+    let mut out =
+        String::from("E3: Table 4 — small-file I/O (files/second; C=create R=read D=delete)\n\n");
+    for (n, bytes, label) in [
+        (n_small, 1 << 10, "1-Kbyte files"),
+        (n_big, 10 << 10, "10-Kbyte files"),
+    ] {
+        let mut t = Table::new(vec!["File system", "C", "R", "D"]);
+
+        let mut fs = MinixLld(rig::minix_lld(disk_bytes));
+        let r = small_file(&mut fs, n, bytes);
+        let c = fmt(&r);
+        t.row(vec![
+            fs.label().to_string(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+        ]);
+
+        let mut fs = MinixRaw(rig::minix(disk_bytes));
+        let r = small_file(&mut fs, n, bytes);
+        let c = fmt(&r);
+        t.row(vec![
+            fs.label().to_string(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+        ]);
+
+        let mut fs = Sunos(rig::sunos(disk_bytes));
+        let r = small_file(&mut fs, n, bytes);
+        let c = fmt(&r);
+        t.row(vec![
+            fs.label().to_string(),
+            c[0].clone(),
+            c[1].clone(),
+            c[2].clone(),
+        ]);
+
+        out.push_str(&format!("{n} x {label}\n{}\n", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 4 relations hold at reduced scale.
+    #[test]
+    fn relations_hold_quick() {
+        let n = 300;
+        let bytes = 1 << 10;
+        let disk = 64 << 20;
+
+        let mut lld_fs = MinixLld(rig::minix_lld(disk));
+        let lld = small_file(&mut lld_fs, n, bytes);
+        let mut raw_fs = MinixRaw(rig::minix(disk));
+        let raw = small_file(&mut raw_fs, n, bytes);
+        let mut sun_fs = Sunos(rig::sunos(disk));
+        let sun = small_file(&mut sun_fs, n, bytes);
+
+        assert!(
+            lld.create_per_s > 1.5 * raw.create_per_s,
+            "LLD create {:.0}/s must beat MINIX {:.0}/s clearly",
+            lld.create_per_s,
+            raw.create_per_s
+        );
+        assert!(
+            raw.create_per_s > 2.0 * sun.create_per_s,
+            "MINIX create {:.0}/s must beat synchronous SunOS {:.0}/s",
+            raw.create_per_s,
+            sun.create_per_s
+        );
+        assert!(
+            lld.delete_per_s > 2.0 * sun.delete_per_s,
+            "LLD delete {:.0}/s must beat synchronous SunOS {:.0}/s",
+            lld.delete_per_s,
+            sun.delete_per_s
+        );
+        // Reads are within 2x of each other for the MINIX variants.
+        let ratio = lld.read_per_s / raw.read_per_s;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "MINIX LLD and MINIX read rates should be comparable (ratio {ratio:.2})"
+        );
+    }
+}

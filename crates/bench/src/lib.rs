@@ -1,0 +1,16 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§4) plus the §5.2 comparison and two ablations.
+//!
+//! The `repro` binary dispatches to one experiment per subcommand; see
+//! `DESIGN.md` for the experiment index (E1–E13) and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results.
+//!
+//! All throughput numbers come from the **simulated clock** of the
+//! [`simdisk`] substrate (disk mechanics + modeled CPU costs), never from
+//! wall-clock time, so runs are deterministic.
+
+pub mod driver;
+pub mod exp;
+pub mod report;
+pub mod rig;
+pub mod workload;

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // First column left-aligned, the rest right-aligned.
+                if i == 0 {
+                    line.push_str(&format!("{c:<w$}", w = width[i]));
+                } else {
+                    line.push_str(&format!("{c:>w$}", w = width[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a microsecond duration as seconds with two decimals.
+pub fn secs(us: u64) -> String {
+    format!("{:.2}", us as f64 / 1e6)
+}
+
+/// Computes KB/s from bytes moved in a simulated interval.
+pub fn kb_per_s(bytes: u64, us: u64) -> f64 {
+    if us == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / 1024.0) / (us as f64 / 1e6)
+}
+
+/// Computes operations/second.
+pub fn ops_per_s(ops: u64, us: u64) -> f64 {
+    if us == 0 {
+        return 0.0;
+    }
+    ops as f64 / (us as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "v1", "v2"]);
+        t.row(vec!["alpha", "1", "22"]);
+        t.row(vec!["b", "333", "4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("alpha"));
+        // Right alignment of numeric columns.
+        assert!(lines[3].contains("333"));
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(secs(1_500_000), "1.50");
+        assert!((kb_per_s(1 << 20, 1_000_000) - 1024.0).abs() < 1e-9);
+        assert!((ops_per_s(500, 2_000_000) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

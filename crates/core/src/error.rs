@@ -1,0 +1,103 @@
+//! Error type shared by all Logical Disk implementations.
+
+use crate::types::{Bid, Lid, ReservationId};
+
+/// Errors returned by [`crate::LogicalDisk`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LdError {
+    /// The disk has no room for the requested allocation (and no
+    /// reservation covers it).
+    NoSpace,
+    /// The block number is not currently allocated.
+    UnknownBlock(Bid),
+    /// The list identifier is not currently allocated.
+    UnknownList(Lid),
+    /// The block named as a predecessor is not on the given list.
+    NotOnList {
+        /// Block that was expected on the list.
+        bid: Bid,
+        /// The list that was searched.
+        lid: Lid,
+    },
+    /// Data larger than the block's declared size class was written.
+    BlockTooLarge {
+        /// Bytes the caller tried to write.
+        got: usize,
+        /// The block's declared capacity.
+        max: usize,
+    },
+    /// The destination buffer is too small for the block's contents.
+    BufferTooSmall {
+        /// Bytes the block holds.
+        need: usize,
+        /// Bytes the caller provided.
+        got: usize,
+    },
+    /// `BeginARU` while an atomic recovery unit is already open (the
+    /// prototype interface does not support concurrent ARUs, paper §2.2).
+    AruAlreadyOpen,
+    /// `EndARU` without a matching `BeginARU`.
+    NoAruOpen,
+    /// The reservation handle is unknown or already consumed/cancelled.
+    UnknownReservation(ReservationId),
+    /// A requested block size class is not supported by the implementation.
+    UnsupportedBlockSize(usize),
+    /// An offset-addressing index is beyond the end of the list (§5.4).
+    IndexOutOfRange {
+        /// The list that was indexed.
+        lid: Lid,
+        /// The requested position.
+        index: u64,
+    },
+    /// The underlying device failed (crashed, out of range, ...).
+    Device(String),
+    /// The Logical Disk has been shut down; no further operations accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for LdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LdError::NoSpace => write!(f, "no disk space available"),
+            LdError::UnknownBlock(bid) => write!(f, "unknown logical block {bid}"),
+            LdError::UnknownList(lid) => write!(f, "unknown block list {lid}"),
+            LdError::NotOnList { bid, lid } => write!(f, "block {bid} is not on list {lid}"),
+            LdError::BlockTooLarge { got, max } => {
+                write!(f, "{got} bytes exceed the block's {max}-byte size class")
+            }
+            LdError::BufferTooSmall { need, got } => {
+                write!(f, "buffer of {got} bytes too small for {need}-byte block")
+            }
+            LdError::AruAlreadyOpen => write!(f, "an atomic recovery unit is already open"),
+            LdError::NoAruOpen => write!(f, "no atomic recovery unit is open"),
+            LdError::UnknownReservation(id) => write!(f, "unknown reservation {}", id.0),
+            LdError::UnsupportedBlockSize(s) => write!(f, "unsupported block size {s}"),
+            LdError::IndexOutOfRange { lid, index } => {
+                write!(f, "index {index} beyond the end of list {lid}")
+            }
+            LdError::Device(msg) => write!(f, "device error: {msg}"),
+            LdError::ShutDown => write!(f, "logical disk is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for LdError {}
+
+/// Result alias for LD operations.
+pub type Result<T> = std::result::Result<T, LdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_identifier() {
+        let e = LdError::UnknownBlock(Bid(42));
+        assert!(e.to_string().contains("b42"));
+        let e = LdError::NotOnList {
+            bid: Bid(1),
+            lid: Lid(2),
+        };
+        assert!(e.to_string().contains("b1") && e.to_string().contains("l2"));
+    }
+}

@@ -1,0 +1,147 @@
+//! FFS i-nodes: 64 bytes, 7 direct blocks, one indirect, one
+//! double-indirect — structurally like MINIX's but over 8 KB blocks.
+
+/// Bytes per encoded i-node.
+pub const INODE_SIZE: usize = 64;
+/// Direct block pointers.
+pub const DIRECT: usize = 7;
+/// Index of the indirect pointer.
+pub const IND: usize = 7;
+/// Index of the double-indirect pointer.
+pub const DIND: usize = 8;
+/// Total pointers.
+pub const NPTRS: usize = 9;
+
+/// File type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Dir,
+}
+
+/// An in-memory i-node. Block pointers are disk block numbers with 0 as
+/// "none" (block 0 is the superblock, never file data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inode {
+    /// File type.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time (simulated seconds).
+    pub mtime: u32,
+    /// Cylinder group this i-node prefers for data.
+    pub cg: u32,
+    /// Block pointers.
+    pub ptrs: [u32; NPTRS],
+}
+
+impl Inode {
+    /// A fresh i-node.
+    pub fn new(ftype: FileType, cg: u32, mtime: u32) -> Self {
+        Self {
+            ftype,
+            size: 0,
+            mtime,
+            cg,
+            ptrs: [0; NPTRS],
+        }
+    }
+
+    /// Encodes into a 64-byte slot (zeroed slot = free).
+    pub fn encode(&self, slot: &mut [u8]) {
+        assert_eq!(slot.len(), INODE_SIZE);
+        slot.fill(0);
+        let t: u16 = match self.ftype {
+            FileType::Regular => 1,
+            FileType::Dir => 2,
+        };
+        slot[0..2].copy_from_slice(&t.to_le_bytes());
+        slot[2..4].copy_from_slice(&0u16.to_le_bytes());
+        slot[4..12].copy_from_slice(&self.size.to_le_bytes());
+        slot[12..16].copy_from_slice(&self.mtime.to_le_bytes());
+        slot[16..20].copy_from_slice(&self.cg.to_le_bytes());
+        for (i, p) in self.ptrs.iter().enumerate() {
+            slot[20 + i * 4..24 + i * 4].copy_from_slice(&p.to_le_bytes());
+        }
+    }
+
+    /// Decodes a slot; `None` when the slot is free.
+    pub fn decode(slot: &[u8]) -> Option<Self> {
+        assert_eq!(slot.len(), INODE_SIZE);
+        let t = u16::from_le_bytes(slot[0..2].try_into().expect("fixed"));
+        let ftype = match t {
+            0 => return None,
+            1 => FileType::Regular,
+            2 => FileType::Dir,
+            _ => return None,
+        };
+        let mut ptrs = [0u32; NPTRS];
+        for (i, p) in ptrs.iter_mut().enumerate() {
+            *p = u32::from_le_bytes(slot[20 + i * 4..24 + i * 4].try_into().expect("fixed"));
+        }
+        Some(Self {
+            ftype,
+            size: u64::from_le_bytes(slot[4..12].try_into().expect("fixed")),
+            mtime: u32::from_le_bytes(slot[12..16].try_into().expect("fixed")),
+            cg: u32::from_le_bytes(slot[16..20].try_into().expect("fixed")),
+            ptrs,
+        })
+    }
+}
+
+/// Block-pointer location for a file block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrPath {
+    /// `ptrs[i]`.
+    Direct(usize),
+    /// Entry `i` of the indirect block.
+    Indirect(usize),
+    /// Entry `j` of indirect block `i` under the double-indirect block.
+    Double(usize, usize),
+}
+
+/// Maps a file block index for `ppb` pointers per indirect block. Returns
+/// `None` beyond the double-indirect range.
+pub fn ptr_path(idx: u64, ppb: usize) -> Option<PtrPath> {
+    let d = DIRECT as u64;
+    let p = ppb as u64;
+    if idx < d {
+        return Some(PtrPath::Direct(idx as usize));
+    }
+    let idx = idx - d;
+    if idx < p {
+        return Some(PtrPath::Indirect(idx as usize));
+    }
+    let idx = idx - p;
+    if idx < p * p {
+        return Some(PtrPath::Double((idx / p) as usize, (idx % p) as usize));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut i = Inode::new(FileType::Regular, 3, 42);
+        i.size = 80 << 20;
+        i.ptrs[0] = 1000;
+        i.ptrs[IND] = 2000;
+        let mut slot = [0u8; INODE_SIZE];
+        i.encode(&mut slot);
+        assert_eq!(Inode::decode(&slot), Some(i));
+        assert_eq!(Inode::decode(&[0u8; INODE_SIZE]), None);
+    }
+
+    #[test]
+    fn eighty_megabyte_file_fits_in_indirect_range() {
+        // 80 MB at 8 KB blocks = 10240 blocks; ppb = 2048.
+        assert_eq!(ptr_path(10_239, 2048), Some(PtrPath::Double(3, 2040)));
+        assert!(matches!(ptr_path(7, 2048), Some(PtrPath::Indirect(0))));
+        assert!(ptr_path(7 + 2048 + 2048 * 2048, 2048).is_none());
+    }
+}

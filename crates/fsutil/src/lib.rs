@@ -1,0 +1,18 @@
+//! Shared file-system substrate: buffer cache, bitmap allocator, directory
+//! entry codec, and path utilities.
+//!
+//! These pieces are the common machinery of the three file systems in this
+//! workspace (`minix-fs`, `ffs`, and the directory layer of `sprite-lfs`):
+//! a write-back LRU [`BufferCache`] (the paper's 6,144 KB static MINIX
+//! cache), a persistent [`Bitmap`] allocator (MINIX free-i-node/free-zone
+//! maps and FFS cylinder-group maps), MINIX-style fixed-size directory
+//! entries, and absolute-path parsing.
+
+mod bitmap;
+mod cache;
+pub mod dirent;
+pub mod path;
+
+pub use bitmap::Bitmap;
+pub use cache::{BufferCache, Evicted};
+pub use path::PathError;

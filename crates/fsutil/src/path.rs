@@ -1,0 +1,90 @@
+//! Path parsing shared by the file systems in this workspace.
+
+use crate::dirent::MAX_NAME;
+
+/// Errors produced by path validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The path is empty or not absolute.
+    NotAbsolute,
+    /// A component is empty, `.`/`..` (unsupported in this prototype), or
+    /// contains NUL.
+    BadComponent(String),
+    /// A component exceeds the directory-entry name limit.
+    NameTooLong(String),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::NotAbsolute => write!(f, "path must be absolute"),
+            PathError::BadComponent(c) => write!(f, "bad path component {c:?}"),
+            PathError::NameTooLong(c) => write!(f, "name too long: {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Splits an absolute path into validated components. `/` yields an empty
+/// vector (the root itself).
+pub fn split(path: &str) -> Result<Vec<&str>, PathError> {
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(PathError::NotAbsolute);
+    };
+    let mut out = Vec::new();
+    for comp in rest.split('/') {
+        if comp.is_empty() {
+            continue; // Tolerate duplicate or trailing slashes.
+        }
+        if comp == "." || comp == ".." || comp.bytes().any(|b| b == 0) {
+            return Err(PathError::BadComponent(comp.to_string()));
+        }
+        if comp.len() > MAX_NAME {
+            return Err(PathError::NameTooLong(comp.to_string()));
+        }
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Splits a path into (parent components, final name).
+pub fn split_parent(path: &str) -> Result<(Vec<&str>, &str), PathError> {
+    let mut comps = split(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(PathError::BadComponent("/".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_tolerates_extra_slashes() {
+        assert_eq!(split("/a/b//c/").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn rejects_relative_and_dot_components() {
+        assert_eq!(split("a/b"), Err(PathError::NotAbsolute));
+        assert!(matches!(split("/a/./b"), Err(PathError::BadComponent(_))));
+        assert!(matches!(split("/../x"), Err(PathError::BadComponent(_))));
+    }
+
+    #[test]
+    fn parent_split() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn long_names_rejected() {
+        let long = format!("/{}", "x".repeat(MAX_NAME + 1));
+        assert!(matches!(split(&long), Err(PathError::NameTooLong(_))));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: the buffer cache against a trivial model.
+//!
+//! The model is a plain map plus a "backing store" map; the invariant is
+//! that (cache ∪ write-backs ∪ store) always reproduces every written
+//! block, and that capacity is respected.
+
+use fsutil::BufferCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    WriteDirty { addr: u8, val: u8, len: u8 },
+    InsertClean { addr: u8, val: u8, len: u8 },
+    Get { addr: u8 },
+    Discard { addr: u8 },
+    TakeDirty,
+    DropAll,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u8>(), 1u8..32).prop_map(|(a, v, l)| Op::WriteDirty { addr: a % 24, val: v, len: l }),
+        3 => (any::<u8>(), any::<u8>(), 1u8..32).prop_map(|(a, v, l)| Op::InsertClean { addr: a % 24, val: v, len: l }),
+        5 => any::<u8>().prop_map(|a| Op::Get { addr: a % 24 }),
+        1 => any::<u8>().prop_map(|a| Op::Discard { addr: a % 24 }),
+        1 => Just(Op::TakeDirty),
+        1 => Just(Op::DropAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_never_loses_dirty_data(ops in proptest::collection::vec(op(), 1..100)) {
+        let mut cache = BufferCache::new(256); // Tiny: constant eviction.
+        // What the "disk" would hold after write-backs.
+        let mut store: HashMap<u32, Vec<u8>> = HashMap::new();
+        // The newest written value per address (what reads must observe
+        // via cache-or-store).
+        let mut truth: HashMap<u32, Vec<u8>> = HashMap::new();
+        // Addresses whose newest value is allowed to be missing from the
+        // store (discarded while dirty).
+        let mut discarded: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::WriteDirty { addr, val, len } => {
+                    let data = vec![val; len as usize];
+                    for ev in cache.insert_dirty(addr.into(), data.clone()) {
+                        store.insert(ev.addr, ev.data);
+                    }
+                    truth.insert(addr.into(), data);
+                    discarded.remove(&u32::from(addr));
+                }
+                Op::InsertClean { addr, val, len } => {
+                    let data = vec![val; len as usize];
+                    // A clean insert models a read from the store; only
+                    // valid if it matches the store's content, so update
+                    // both consistently.
+                    for ev in cache.insert_clean(addr.into(), data.clone()) {
+                        store.insert(ev.addr, ev.data);
+                    }
+                    store.insert(addr.into(), data.clone());
+                    truth.insert(addr.into(), data);
+                    discarded.remove(&u32::from(addr));
+                }
+                Op::Get { addr } => {
+                    if let Some(data) = cache.get(addr.into()) {
+                        prop_assert_eq!(
+                            data,
+                            truth.get(&u32::from(addr)).map(Vec::as_slice).unwrap_or(&[]),
+                            "cache returned stale data for {}", addr
+                        );
+                    }
+                }
+                Op::Discard { addr } => {
+                    cache.discard(addr.into());
+                    discarded.insert(addr.into());
+                }
+                Op::TakeDirty => {
+                    for ev in cache.take_dirty() {
+                        store.insert(ev.addr, ev.data);
+                    }
+                }
+                Op::DropAll => {
+                    for ev in cache.drop_all() {
+                        store.insert(ev.addr, ev.data);
+                    }
+                }
+            }
+            prop_assert!(cache.used_bytes() <= 256 + 32, "capacity respected");
+        }
+
+        // Flush everything; now the store must hold the newest value of
+        // every non-discarded address.
+        for ev in cache.drop_all() {
+            store.insert(ev.addr, ev.data);
+        }
+        for (addr, data) in &truth {
+            if discarded.contains(addr) {
+                continue;
+            }
+            prop_assert_eq!(
+                store.get(addr),
+                Some(data),
+                "store lost the newest value of {}", addr
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Property tests for the LZSS codec.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any byte vector round-trips exactly.
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = ldcomp::compress(&data);
+        prop_assert!(c.len() <= ldcomp::compress_bound(data.len()));
+        let d = ldcomp::decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// Highly structured data (repeated small alphabet) round-trips and shrinks.
+    #[test]
+    fn roundtrip_structured(
+        seed in any::<u64>(),
+        alphabet in 1usize..8,
+        len in 64usize..4096,
+    ) {
+        let mut x = seed | 1;
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x as usize % alphabet) as u8
+            })
+            .collect();
+        let c = ldcomp::compress(&data);
+        let d = ldcomp::decompress(&c).unwrap();
+        prop_assert_eq!(&d, &data);
+        if len >= 1024 {
+            prop_assert!(c.len() < data.len(), "small-alphabet data must compress");
+        }
+    }
+
+    /// Decompression of arbitrary garbage never panics.
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = ldcomp::decompress(&data);
+    }
+}

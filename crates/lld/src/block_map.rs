@@ -1,0 +1,467 @@
+//! The block-number map and the list table (paper Figure 2).
+//!
+//! The block-number map stores, for each logical block: its physical
+//! address, its successor in its list, its length, and whether it is
+//! compressed. The list table stores the first logical block of each list;
+//! lists are singly linked through the successor fields, and the lists
+//! themselves form a singly linked *list of lists*. Both tables live
+//! entirely in main memory (§3.4 analyses the cost of that choice; the
+//! `memory` module reproduces the analysis).
+
+use ld_core::ListHints;
+
+/// Sentinel segment id: the block's live copy is in the in-memory open
+/// segment buffer (not yet durable).
+pub const OPEN_SEG: u32 = u32::MAX;
+/// Sentinel segment id: the block is allocated but has never been written.
+pub const NO_SEG: u32 = u32::MAX - 1;
+
+/// One entry of the block-number map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Physical segment holding the live copy, or a sentinel
+    /// ([`OPEN_SEG`], [`NO_SEG`]).
+    pub seg: u32,
+    /// Byte offset of the stored bytes within the segment's data region.
+    pub offset: u32,
+    /// Stored length (compressed length when `compressed`).
+    pub stored_len: u32,
+    /// Logical length as last written by the file system.
+    pub logical_len: u32,
+    /// Size class fixed at allocation (write length limit).
+    pub size_class: u32,
+    /// Whether the stored bytes are compressed.
+    pub compressed: bool,
+    /// Successor in the owning list (`None` = last).
+    pub next: Option<u64>,
+    /// Owning list.
+    pub list: u64,
+}
+
+impl BlockEntry {
+    /// A fresh entry for a just-allocated, never-written block.
+    pub fn new(list: u64, size_class: u32) -> Self {
+        Self {
+            seg: NO_SEG,
+            offset: 0,
+            stored_len: 0,
+            logical_len: 0,
+            size_class,
+            compressed: false,
+            next: None,
+            list,
+        }
+    }
+
+    /// Whether the live copy is on disk (not in-memory, not unwritten).
+    pub fn on_disk(&self) -> bool {
+        self.seg != OPEN_SEG && self.seg != NO_SEG
+    }
+}
+
+/// The block-number map: logical block number → [`BlockEntry`].
+///
+/// Block numbers index a dense vector; freed numbers are recycled from a
+/// free stack (block numbers are cheap names, and reuse keeps the map — and
+/// therefore the paper's 6-bytes-per-block memory bill — dense).
+#[derive(Debug, Default)]
+pub struct BlockMap {
+    entries: Vec<Option<BlockEntry>>,
+    free: Vec<u64>,
+}
+
+impl BlockMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocated blocks.
+    pub fn allocated(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Size of the dense index (high-water mark of block numbers).
+    pub fn capacity_slots(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Allocates a fresh block number.
+    pub fn alloc(&mut self, list: u64, size_class: u32) -> u64 {
+        let entry = BlockEntry::new(list, size_class);
+        match self.free.pop() {
+            Some(bid) => {
+                debug_assert!(self.entries[bid as usize].is_none());
+                self.entries[bid as usize] = Some(entry);
+                bid
+            }
+            None => {
+                self.entries.push(Some(entry));
+                (self.entries.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Installs an entry under a specific number (recovery replay).
+    pub fn install(&mut self, bid: u64, entry: BlockEntry) {
+        let idx = bid as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        self.entries[idx] = Some(entry);
+    }
+
+    /// Frees a block number for reuse. Returns the old entry.
+    pub fn free(&mut self, bid: u64) -> Option<BlockEntry> {
+        let e = self.entries.get_mut(bid as usize)?.take();
+        if e.is_some() {
+            self.free.push(bid);
+        }
+        e
+    }
+
+    /// Removes an entry without pushing the number onto the free stack
+    /// (recovery replay, where the free stack is rebuilt afterwards).
+    pub fn remove_raw(&mut self, bid: u64) -> Option<BlockEntry> {
+        self.entries.get_mut(bid as usize)?.take()
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, bid: u64) -> Option<&BlockEntry> {
+        self.entries.get(bid as usize)?.as_ref()
+    }
+
+    /// Looks up a block mutably.
+    pub fn get_mut(&mut self, bid: u64) -> Option<&mut BlockEntry> {
+        self.entries.get_mut(bid as usize)?.as_mut()
+    }
+
+    /// Iterates over `(bid, entry)` for all allocated blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &BlockEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i as u64, e)))
+    }
+
+    /// Rebuilds the free stack from the dense index (after recovery
+    /// replay). Free numbers are pushed in descending order so that
+    /// low numbers are reused first.
+    pub fn rebuild_free_stack(&mut self) {
+        self.free = self
+            .entries
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(i, e)| e.is_none().then_some(i as u64))
+            .collect();
+    }
+}
+
+/// One entry of the list table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListEntry {
+    /// First block on the list (`None` = empty list).
+    pub first: Option<u64>,
+    /// Successor in the list of lists.
+    pub next_list: Option<u64>,
+    /// Hints given at `NewList`.
+    pub hints: ListHints,
+}
+
+/// The list table plus the list of lists.
+#[derive(Debug, Default)]
+pub struct ListTable {
+    entries: Vec<Option<ListEntry>>,
+    free: Vec<u64>,
+    /// First list in the list of lists.
+    head: Option<u64>,
+}
+
+impl ListTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocated lists.
+    pub fn allocated(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Allocates a new list after `pred` in the list of lists
+    /// (`None` = front). Returns `None` if `pred` is not allocated.
+    pub fn alloc(&mut self, pred: Option<u64>, hints: ListHints) -> Option<u64> {
+        if let Some(p) = pred {
+            self.get(p)?;
+        }
+        let lid = match self.free.pop() {
+            Some(lid) => lid,
+            None => {
+                self.entries.push(None);
+                (self.entries.len() - 1) as u64
+            }
+        };
+        let next_list = match pred {
+            None => self.head.replace(lid),
+            Some(p) => {
+                let pe = self.entries[p as usize].as_mut().expect("checked above");
+                pe.next_list.replace(lid)
+            }
+        };
+        self.entries[lid as usize] = Some(ListEntry {
+            first: None,
+            next_list,
+            hints,
+        });
+        Some(lid)
+    }
+
+    /// Installs a list under a specific id (recovery replay), inserting it
+    /// after `pred` in the list of lists when `pred` still exists (a stale
+    /// predecessor degrades to front insertion — order is a hint, not a
+    /// correctness property).
+    pub fn install(&mut self, lid: u64, pred: Option<u64>, hints: ListHints) {
+        let idx = lid as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        // If the list already exists (replayed twice), keep its first
+        // pointer; otherwise create it empty.
+        let first = self.entries[idx].map(|e| e.first).unwrap_or(None);
+        // Remove from the order chain if present, then reinsert.
+        if self.entries[idx].is_some() {
+            self.unlink_from_order(lid);
+        }
+        let next_list = match pred.filter(|&p| p != lid && self.get(p).is_some()) {
+            None => self.head.replace(lid),
+            Some(p) => self.entries[p as usize]
+                .as_mut()
+                .expect("filtered")
+                .next_list
+                .replace(lid),
+        };
+        self.entries[idx] = Some(ListEntry {
+            first,
+            next_list,
+            hints,
+        });
+    }
+
+    fn unlink_from_order(&mut self, lid: u64) {
+        if self.head == Some(lid) {
+            self.head = self.entries[lid as usize].and_then(|e| e.next_list);
+            return;
+        }
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            let next = self.entries[c as usize].and_then(|e| e.next_list);
+            if next == Some(lid) {
+                let target_next = self.entries[lid as usize].and_then(|e| e.next_list);
+                self.entries[c as usize].as_mut().expect("walked").next_list = target_next;
+                return;
+            }
+            cur = next;
+        }
+    }
+
+    /// Frees a list id. `pred_hint` names the predecessor in the list of
+    /// lists; if absent or wrong, the chain is searched (paper Table 1).
+    /// Returns the old entry.
+    pub fn free(&mut self, lid: u64, pred_hint: Option<u64>) -> Option<ListEntry> {
+        let entry = *self.entries.get(lid as usize)?.as_ref()?;
+        // Fast path via the hint.
+        let hint_ok =
+            pred_hint.is_some_and(|p| self.get(p).is_some_and(|pe| pe.next_list == Some(lid)));
+        if hint_ok {
+            let p = pred_hint.expect("checked");
+            self.entries[p as usize]
+                .as_mut()
+                .expect("checked")
+                .next_list = entry.next_list;
+        } else {
+            self.unlink_from_order(lid);
+        }
+        self.entries[lid as usize] = None;
+        self.free.push(lid);
+        Some(entry)
+    }
+
+    /// Removes an entry without recycling the id (recovery replay).
+    pub fn remove_raw(&mut self, lid: u64) -> Option<ListEntry> {
+        self.unlink_from_order(lid);
+        self.entries.get_mut(lid as usize)?.take()
+    }
+
+    /// Moves `lid` after `pred` in the list of lists.
+    pub fn move_after(&mut self, lid: u64, pred: Option<u64>) -> bool {
+        if self.get(lid).is_none() {
+            return false;
+        }
+        if let Some(p) = pred {
+            if p == lid || self.get(p).is_none() {
+                return false;
+            }
+        }
+        self.unlink_from_order(lid);
+        let next_list = match pred {
+            None => self.head.replace(lid),
+            Some(p) => self.entries[p as usize]
+                .as_mut()
+                .expect("checked")
+                .next_list
+                .replace(lid),
+        };
+        self.entries[lid as usize]
+            .as_mut()
+            .expect("checked")
+            .next_list = next_list;
+        true
+    }
+
+    /// Looks up a list.
+    pub fn get(&self, lid: u64) -> Option<&ListEntry> {
+        self.entries.get(lid as usize)?.as_ref()
+    }
+
+    /// Looks up a list mutably.
+    pub fn get_mut(&mut self, lid: u64) -> Option<&mut ListEntry> {
+        self.entries.get_mut(lid as usize)?.as_mut()
+    }
+
+    /// The list of lists, front to back.
+    pub fn order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.allocated());
+        let mut cur = self.head;
+        while let Some(lid) = cur {
+            out.push(lid);
+            cur = self.entries[lid as usize].and_then(|e| e.next_list);
+        }
+        out
+    }
+
+    /// The predecessor of `lid` in the list of lists (`None` if `lid` is
+    /// the head).
+    pub fn order_pred(&self, lid: u64) -> Option<u64> {
+        let mut cur = self.head;
+        while let Some(c) = cur {
+            let next = self.entries[c as usize].and_then(|e| e.next_list);
+            if next == Some(lid) {
+                return Some(c);
+            }
+            cur = next;
+        }
+        None
+    }
+
+    /// Iterates over `(lid, entry)` for all allocated lists.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &ListEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (i as u64, e)))
+    }
+
+    /// Rebuilds the free stack after recovery replay.
+    pub fn rebuild_free_stack(&mut self) {
+        self.free = self
+            .entries
+            .iter()
+            .enumerate()
+            .rev()
+            .filter_map(|(i, e)| e.is_none().then_some(i as u64))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_numbers_are_recycled_lowest_first_after_rebuild() {
+        let mut m = BlockMap::new();
+        let a = m.alloc(0, 4096);
+        let b = m.alloc(0, 4096);
+        let c = m.alloc(0, 4096);
+        assert_eq!((a, b, c), (0, 1, 2));
+        m.free(a);
+        m.free(c);
+        m.rebuild_free_stack();
+        assert_eq!(m.alloc(0, 64), a, "lowest free number reused first");
+        assert_eq!(m.allocated(), 2);
+    }
+
+    #[test]
+    fn freeing_twice_is_harmless() {
+        let mut m = BlockMap::new();
+        let a = m.alloc(0, 4096);
+        assert!(m.free(a).is_some());
+        assert!(m.free(a).is_none());
+        assert_eq!(m.allocated(), 0);
+    }
+
+    #[test]
+    fn list_of_lists_order_and_move() {
+        let mut t = ListTable::new();
+        let a = t.alloc(None, ListHints::default()).unwrap();
+        let b = t.alloc(Some(a), ListHints::default()).unwrap();
+        let c = t.alloc(Some(a), ListHints::default()).unwrap();
+        assert_eq!(t.order(), vec![a, c, b]);
+        assert!(t.move_after(b, None));
+        assert_eq!(t.order(), vec![b, a, c]);
+        assert!(t.move_after(b, Some(c)));
+        assert_eq!(t.order(), vec![a, c, b]);
+        assert_eq!(t.order_pred(c), Some(a));
+        assert_eq!(t.order_pred(a), None);
+    }
+
+    #[test]
+    fn free_list_uses_hint_or_scan() {
+        let mut t = ListTable::new();
+        let a = t.alloc(None, ListHints::default()).unwrap();
+        let b = t.alloc(Some(a), ListHints::default()).unwrap();
+        let c = t.alloc(Some(b), ListHints::default()).unwrap();
+        // Wrong hint still works via scan.
+        t.free(b, Some(c)).unwrap();
+        assert_eq!(t.order(), vec![a, c]);
+        // Correct hint.
+        t.free(c, Some(a)).unwrap();
+        assert_eq!(t.order(), vec![a]);
+        // Head removal with no hint.
+        t.free(a, None).unwrap();
+        assert!(t.order().is_empty());
+        assert_eq!(t.allocated(), 0);
+    }
+
+    #[test]
+    fn alloc_with_dead_pred_fails() {
+        let mut t = ListTable::new();
+        let a = t.alloc(None, ListHints::default()).unwrap();
+        t.free(a, None);
+        assert_eq!(t.alloc(Some(a), ListHints::default()), None);
+    }
+
+    #[test]
+    fn install_is_idempotent_and_preserves_first() {
+        let mut t = ListTable::new();
+        t.install(5, None, ListHints::default());
+        t.get_mut(5).unwrap().first = Some(99);
+        t.install(5, None, ListHints::compressed());
+        assert_eq!(t.get(5).unwrap().first, Some(99));
+        assert!(t.get(5).unwrap().hints.compress);
+        assert_eq!(t.order(), vec![5]);
+    }
+
+    #[test]
+    fn block_entry_tracks_disk_residence() {
+        let e = BlockEntry::new(3, 4096);
+        assert!(!e.on_disk());
+        let mut e2 = e;
+        e2.seg = 7;
+        assert!(e2.on_disk());
+        let mut e3 = e;
+        e3.seg = OPEN_SEG;
+        assert!(!e3.on_disk());
+    }
+}

@@ -1,0 +1,280 @@
+//! Clean-shutdown checkpoint (paper §3.6).
+//!
+//! "If LLD is shut down explicitly, it writes its data structures, a
+//! timestamp, and a marker that the state stored is valid in a special
+//! region on disk. ... In the case of explicit shut down, LLD reads its
+//! data structures from the special area on disk, invalidates the marker,
+//! and starts immediately."
+//!
+//! The fixed header region (the first sectors of the disk) holds only the
+//! marker and a table of contents; the serialized tables themselves are
+//! written into whole *free segments*, so checkpoint size is bounded by
+//! free space, not by a fixed region. A checkpoint is strictly an
+//! optimization: when no free segment is available (or the header is torn)
+//! startup falls back to the recovery sweep.
+
+use ld_core::{LdError, ListHints, Result};
+use simdisk::{BlockDev, SECTOR_SIZE};
+
+use crate::block_map::{BlockEntry, BlockMap, ListTable};
+use crate::layout::HEADER_SECTORS;
+use crate::records::fnv1a64;
+use crate::usage::{SegState, SegUsage, UsageTable};
+use crate::{dev, Layout, Lld};
+
+const CKPT_MAGIC: u32 = 0x4C44_4350; // "LDCP"
+const CKPT_VERSION: u16 = 1;
+
+/// State reconstructed from a checkpoint.
+pub(crate) struct LoadedState {
+    pub map: BlockMap,
+    pub lists: ListTable,
+    pub usage: UsageTable,
+    pub ts: u64,
+    pub seq: u64,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.data.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.data.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.data.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+}
+
+/// Serializes the LLD tables.
+fn serialize<D: BlockDev>(lld: &Lld<D>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, lld.ts);
+    put_u64(&mut out, lld.seq);
+
+    // Block-number map.
+    let blocks: Vec<(u64, &BlockEntry)> = lld.map.iter().collect();
+    put_u64(&mut out, blocks.len() as u64);
+    for (bid, e) in blocks {
+        put_u64(&mut out, bid);
+        put_u32(&mut out, e.seg);
+        put_u32(&mut out, e.offset);
+        put_u32(&mut out, e.stored_len);
+        put_u32(&mut out, e.logical_len);
+        put_u32(&mut out, e.size_class);
+        out.push(e.compressed as u8);
+        put_u64(&mut out, e.next.map_or(0, |n| n + 1));
+        put_u64(&mut out, e.list);
+    }
+
+    // List table, serialized in list-of-lists order so the chain can be
+    // rebuilt with plain installs.
+    let order = lld.lists.order();
+    put_u64(&mut out, order.len() as u64);
+    for lid in &order {
+        let e = lld.lists.get(*lid).expect("order() returns live lists");
+        put_u64(&mut out, *lid);
+        put_u64(&mut out, e.first.map_or(0, |f| f + 1));
+        let h = (e.hints.cluster as u8)
+            | ((e.hints.compress as u8) << 1)
+            | ((e.hints.interlist_cluster as u8) << 2);
+        out.push(h);
+    }
+
+    // Segment usage table.
+    put_u32(&mut out, lld.usage.len());
+    for (_, u) in lld.usage.iter() {
+        out.push(match u.state {
+            SegState::Free => 0,
+            SegState::Live => 1,
+            SegState::Scratch => 2,
+        });
+        put_u64(&mut out, u.live_bytes);
+        put_u64(&mut out, u.last_write_ts);
+    }
+    out
+}
+
+fn deserialize(data: &[u8]) -> Option<LoadedState> {
+    let mut r = Reader { data, pos: 0 };
+    let ts = r.u64()?;
+    let seq = r.u64()?;
+
+    let mut map = BlockMap::new();
+    let nblocks = r.u64()?;
+    for _ in 0..nblocks {
+        let bid = r.u64()?;
+        let mut e = BlockEntry::new(0, 0);
+        e.seg = r.u32()?;
+        e.offset = r.u32()?;
+        e.stored_len = r.u32()?;
+        e.logical_len = r.u32()?;
+        e.size_class = r.u32()?;
+        e.compressed = r.u8()? != 0;
+        let next = r.u64()?;
+        e.next = (next != 0).then(|| next - 1);
+        e.list = r.u64()?;
+        map.install(bid, e);
+    }
+    map.rebuild_free_stack();
+
+    let mut lists = ListTable::new();
+    let nlists = r.u64()?;
+    let mut prev: Option<u64> = None;
+    for _ in 0..nlists {
+        let lid = r.u64()?;
+        let first = r.u64()?;
+        let h = r.u8()?;
+        let hints = ListHints {
+            cluster: h & 1 != 0,
+            compress: h & 2 != 0,
+            interlist_cluster: h & 4 != 0,
+        };
+        lists.install(lid, prev, hints);
+        lists.get_mut(lid).expect("installed").first = (first != 0).then(|| first - 1);
+        prev = Some(lid);
+    }
+    lists.rebuild_free_stack();
+
+    let nsegs = r.u32()?;
+    let mut usage = UsageTable::new(nsegs);
+    for seg in 0..nsegs {
+        let state = match r.u8()? {
+            0 => SegState::Free,
+            1 => SegState::Live,
+            2 => SegState::Scratch,
+            _ => return None,
+        };
+        let live_bytes = r.u64()?;
+        let last_write_ts = r.u64()?;
+        usage.set(
+            seg,
+            SegUsage {
+                state,
+                live_bytes,
+                last_write_ts,
+            },
+        );
+    }
+    Some(LoadedState {
+        map,
+        lists,
+        usage,
+        ts,
+        seq,
+    })
+}
+
+/// Writes the checkpoint: payload into free segments, then the valid
+/// header. Skipped silently (leaving the header invalid) when no free
+/// segments can hold the payload — the next start will sweep instead.
+pub(crate) fn write_checkpoint<D: BlockDev>(lld: &mut Lld<D>) -> Result<()> {
+    let payload = serialize(lld);
+    let seg_bytes = lld.layout.segment_bytes;
+    let needed = payload.len().div_ceil(seg_bytes);
+    let free = lld.usage.free_list();
+    let header_capacity = (HEADER_SECTORS as usize * SECTOR_SIZE - 64) / 4;
+    if free.len() < needed || needed > header_capacity {
+        return Ok(());
+    }
+    let segs = &free[..needed];
+    for (i, seg) in segs.iter().enumerate() {
+        let start = i * seg_bytes;
+        let end = (start + seg_bytes).min(payload.len());
+        let mut chunk = payload[start..end].to_vec();
+        chunk.resize(seg_bytes, 0);
+        lld.disk
+            .write_sectors(lld.layout.segment_base(*seg), &chunk)
+            .map_err(dev)?;
+    }
+
+    let mut header = Vec::with_capacity(HEADER_SECTORS as usize * SECTOR_SIZE);
+    put_u32(&mut header, CKPT_MAGIC);
+    header.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    header.push(1); // Valid marker.
+    header.push(0);
+    put_u64(&mut header, payload.len() as u64);
+    put_u64(&mut header, fnv1a64(&payload));
+    put_u32(&mut header, segs.len() as u32);
+    for seg in segs {
+        put_u32(&mut header, *seg);
+    }
+    header.resize(HEADER_SECTORS as usize * SECTOR_SIZE, 0);
+    lld.disk.write_sectors(0, &header).map_err(dev)?;
+    Ok(())
+}
+
+/// Attempts to load (and invalidate) a checkpoint. `Ok(None)` means no
+/// valid checkpoint; the caller falls back to the sweep.
+pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Option<LoadedState>> {
+    let mut header = vec![0u8; HEADER_SECTORS as usize * SECTOR_SIZE];
+    disk.read_sectors(0, &mut header).map_err(dev)?;
+    // Layout: u32 magic, u16 version, u8 valid marker, u8 pad, then fields.
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed size"));
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("fixed size"));
+    if magic != CKPT_MAGIC || version != CKPT_VERSION || header[6] != 1 {
+        return Ok(None);
+    }
+    let mut r = Reader {
+        data: &header,
+        pos: 8,
+    };
+    let (Some(payload_len), Some(checksum), Some(nsegs)) = (r.u64(), r.u64(), r.u32()) else {
+        return Ok(None);
+    };
+    let mut segs = Vec::with_capacity(nsegs as usize);
+    for _ in 0..nsegs {
+        match r.u32() {
+            Some(s) if s < layout.segments => segs.push(s),
+            _ => return Ok(None),
+        }
+    }
+    let payload_len = payload_len as usize;
+    if payload_len > segs.len() * layout.segment_bytes {
+        return Ok(None);
+    }
+
+    let mut payload = Vec::with_capacity(segs.len() * layout.segment_bytes);
+    let mut chunk = vec![0u8; layout.segment_bytes];
+    for seg in &segs {
+        disk.read_sectors(layout.segment_base(*seg), &mut chunk)
+            .map_err(dev)?;
+        payload.extend_from_slice(&chunk);
+    }
+    payload.truncate(payload_len);
+    if fnv1a64(&payload) != checksum {
+        return Ok(None);
+    }
+    let state = deserialize(&payload).ok_or_else(|| {
+        LdError::Device("checkpoint payload passed checksum but failed to parse".into())
+    })?;
+    if state.usage.len() != layout.segments {
+        return Ok(None);
+    }
+
+    // Invalidate the marker before handing the state out.
+    header[6] = 0;
+    disk.write_sectors(0, &header).map_err(dev)?;
+    Ok(Some(state))
+}

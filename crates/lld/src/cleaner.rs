@@ -1,0 +1,551 @@
+//! Segment cleaning, clustering, and the disk reorganizer (paper §3.5).
+//!
+//! The cleaner reclaims segments by copying their live blocks into the
+//! segment being filled. Two victim-selection policies from Rosenblum &
+//! Ousterhout are implemented (the paper notes "all of these can be used
+//! for LLD as well"). While copying, blocks are reordered by their position
+//! in their lists — the paper's "simplistic clustering strategy" that
+//! "uses the list information to reorder the blocks to improve sequential
+//! read performance".
+//!
+//! Cleaning a segment also rewrites the *live* metadata records from its
+//! summary into the current segment and drops the dead ones — the paper's
+//! "LLD also removes old logging information, such as old link tuples and
+//! old EndARU tuples, from the segment summaries during cleaning". Without
+//! this, freeing a segment could discard the only surviving record of a
+//! link or an allocation and recovery would reconstruct a stale state.
+
+use std::collections::HashSet;
+
+use ld_core::Result;
+use simdisk::BlockDev;
+
+use crate::block_map::OPEN_SEG;
+use crate::records::{Record, Summary};
+use crate::usage::SegState;
+use crate::{dev, Lld};
+
+/// Victim-selection policy for the cleaner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CleaningPolicy {
+    /// Clean the segment with the fewest live bytes.
+    Greedy,
+    /// Sprite LFS cost-benefit: maximize `(1 - u) · age / (1 + u)`.
+    #[default]
+    CostBenefit,
+}
+
+impl<D: BlockDev> Lld<D> {
+    /// Runs the cleaner until the free pool is back above the configured
+    /// reserve (or no cleanable segment remains). Called automatically when
+    /// a seal drains the pool; also available for explicit idle-time use.
+    pub(crate) fn clean_to_reserve(&mut self) -> Result<()> {
+        debug_assert!(!self.cleaning);
+        self.cleaning = true;
+        let result = self.clean_to_reserve_inner();
+        self.cleaning = false;
+        result
+    }
+
+    fn clean_to_reserve_inner(&mut self) -> Result<()> {
+        self.stats.cleaner_runs += 1;
+        while self.usage.free_count() <= self.config.cleaning_reserve_segments {
+            let victim = self.usage.pick_victim(
+                self.config.cleaning_policy,
+                self.layout.data_bytes as u64,
+                self.ts,
+                None,
+            );
+            let Some(victim) = victim else {
+                // Nothing cleanable beyond what is already pending.
+                self.drain_pending_if_starved()?;
+                return Ok(());
+            };
+            self.clean_segment(victim)?;
+            self.drain_pending_if_starved()?;
+        }
+        Ok(())
+    }
+
+    /// Reclaimed victims wait in `pending_free` until their forwarded
+    /// copies (sitting in the open segment buffer) are durable. Cleaning
+    /// mostly-empty victims forwards so little data that no seal happens,
+    /// and the pool can starve with plenty of reclaimed-but-unreleased
+    /// segments. A partial write (§3.2 machinery) makes the open buffer
+    /// durable and releases them.
+    fn drain_pending_if_starved(&mut self) -> Result<()> {
+        if !self.pending_free.is_empty()
+            && self.usage.free_count() <= self.config.cleaning_reserve_segments
+        {
+            self.partial_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Explicitly cleans up to `max_segments` segments (idle-time cleaning,
+    /// paper §3: "If LLD runs out of empty segments while busy, it will
+    /// call the segment cleaner"; the reorganizer calls this during idle
+    /// periods). Returns how many segments were reclaimed.
+    pub fn clean(&mut self, max_segments: u32) -> Result<u32> {
+        self.check_up()?;
+        self.cleaning = true;
+        let mut cleaned = 0;
+        let result = (|| {
+            for _ in 0..max_segments {
+                let victim = self.usage.pick_victim(
+                    self.config.cleaning_policy,
+                    self.layout.data_bytes as u64,
+                    self.ts,
+                    None,
+                );
+                match victim {
+                    Some(v) => {
+                        self.clean_segment(v)?;
+                        self.drain_pending_if_starved()?;
+                        cleaned += 1;
+                    }
+                    None => break,
+                }
+            }
+            Ok(())
+        })();
+        self.cleaning = false;
+        result.map(|()| cleaned)
+    }
+
+    /// Cleans one victim segment: forwards its live blocks (in list order)
+    /// and re-logs its live metadata records, then queues the segment for
+    /// release once the forwarded copies are durable.
+    fn clean_segment(&mut self, victim: u32) -> Result<()> {
+        debug_assert_eq!(self.usage.get(victim).state, SegState::Live);
+
+        // Live blocks are found from the block-number map (authoritative);
+        // the summary is only needed to know which entities' metadata
+        // records must be re-logged before the summary is discarded.
+        let mut live: Vec<u64> = self
+            .map
+            .iter()
+            .filter_map(|(bid, e)| (e.seg == victim).then_some(bid))
+            .collect();
+
+        let mut mentioned_bids: HashSet<u64> = HashSet::new();
+        let mut mentioned_lids: HashSet<u64> = HashSet::new();
+        let mut swap_bids: HashSet<u64> = HashSet::new();
+        if let Some(summary) = self.read_summary(victim)? {
+            for s in &summary.records {
+                match s.rec {
+                    Record::NewBlock { bid, .. }
+                    | Record::DeleteBlock { bid }
+                    | Record::Link { bid, .. }
+                    | Record::WriteBlock { bid, .. } => {
+                        mentioned_bids.insert(bid);
+                    }
+                    Record::ListHead { lid, .. }
+                    | Record::NewList { lid, .. }
+                    | Record::DeleteList { lid }
+                    | Record::ListOrder { lid, .. } => {
+                        mentioned_lids.insert(lid);
+                    }
+                    Record::EndAru => {}
+                    Record::Swap { a, b } => {
+                        // A Swap record redirects two mappings without a
+                        // WriteBlock. Once this summary is discarded, replay
+                        // would reconstruct the pre-swap mapping, so the
+                        // affected blocks' data must be forwarded to make
+                        // their current locations explicit.
+                        mentioned_bids.insert(a);
+                        mentioned_bids.insert(b);
+                        swap_bids.insert(a);
+                        swap_bids.insert(b);
+                    }
+                }
+            }
+        }
+
+        // Cluster: order the live blocks by their position in their lists
+        // (interfile order = list-of-lists order, intrafile = list order).
+        self.order_by_lists(&mut live);
+
+        // Forward live blocks. Read the whole data region once — the
+        // cleaner works in segment-sized I/O.
+        if !live.is_empty() {
+            let mut data = vec![0u8; self.layout.data_bytes];
+            self.disk
+                .read_sectors(self.layout.segment_base(victim), &mut data)
+                .map_err(dev)?;
+            for bid in live {
+                let e = *self.map.get(bid).expect("liveness checked");
+                if e.seg != victim {
+                    // A seal during this loop cannot move it, but be safe.
+                    continue;
+                }
+                let bytes = data[e.offset as usize..(e.offset + e.stored_len) as usize].to_vec();
+                self.ensure_room(bytes.len(), 1)?;
+                let offset = self.open.append_data(&bytes);
+                self.log_internal(Record::WriteBlock {
+                    bid,
+                    offset,
+                    stored_len: e.stored_len,
+                    logical_len: e.logical_len,
+                    compressed: e.compressed,
+                });
+                let entry = self.map.get_mut(bid).expect("liveness checked");
+                entry.seg = OPEN_SEG;
+                entry.offset = offset;
+                self.usage.sub_live(victim, u64::from(e.stored_len));
+                self.open_live += u64::from(e.stored_len);
+                self.open_bids.push(bid);
+                self.stats.cleaner_bytes_copied += u64::from(e.stored_len);
+            }
+        }
+
+        // Force-forward live blocks whose mapping depends on a Swap record
+        // in this summary, wherever their data currently lives.
+        for bid in swap_bids {
+            let Some(e) = self.map.get(bid).copied() else {
+                continue;
+            };
+            if !e.on_disk() {
+                continue; // Already in the open buffer.
+            }
+            let bytes = {
+                let (start, count) =
+                    self.layout
+                        .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
+                let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
+                self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                let begin = e.offset as usize % simdisk::SECTOR_SIZE;
+                sectors[begin..begin + e.stored_len as usize].to_vec()
+            };
+            self.ensure_room(bytes.len(), 1)?;
+            let still_there = self
+                .map
+                .get(bid)
+                .is_some_and(|cur| cur.seg == e.seg && cur.offset == e.offset);
+            if !still_there {
+                continue;
+            }
+            let offset = self.open.append_data(&bytes);
+            self.log_internal(Record::WriteBlock {
+                bid,
+                offset,
+                stored_len: e.stored_len,
+                logical_len: e.logical_len,
+                compressed: e.compressed,
+            });
+            self.usage.sub_live(e.seg, u64::from(e.stored_len));
+            let entry = self.map.get_mut(bid).expect("checked");
+            entry.seg = OPEN_SEG;
+            entry.offset = offset;
+            self.open_live += u64::from(e.stored_len);
+            self.open_bids.push(bid);
+            self.stats.cleaner_bytes_copied += u64::from(e.stored_len);
+        }
+
+        // Re-log live metadata; drop dead records ("removes old logging
+        // information"). One decision per entity.
+        for bid in mentioned_bids {
+            self.ensure_room(0, 2)?;
+            match self.map.get(bid) {
+                Some(e) => {
+                    let (lid, size_class, next) = (e.list, e.size_class, e.next);
+                    self.log_internal(Record::NewBlock {
+                        bid,
+                        lid,
+                        size_class,
+                    });
+                    self.log_internal(Record::Link { bid, next });
+                    self.stats.cleaner_records_relogged += 2;
+                }
+                None => {
+                    self.log_internal(Record::DeleteBlock { bid });
+                    self.stats.cleaner_records_relogged += 1;
+                }
+            }
+        }
+        for lid in mentioned_lids {
+            self.ensure_room(0, 2)?;
+            match self.lists.get(lid) {
+                Some(e) => {
+                    let (first, hints) = (e.first, e.hints);
+                    let pred = self.lists.order_pred(lid);
+                    self.log_internal(Record::NewList { lid, pred, hints });
+                    self.log_internal(Record::ListHead { lid, first });
+                    self.stats.cleaner_records_relogged += 2;
+                }
+                None => {
+                    self.log_internal(Record::DeleteList { lid });
+                    self.stats.cleaner_records_relogged += 1;
+                }
+            }
+        }
+
+        // The forwarded copies live in the open buffer; the victim may only
+        // be overwritten after they are durable.
+        self.pending_free.push(victim);
+        // Take the victim out of the victim pool immediately.
+        self.usage.set(
+            victim,
+            crate::usage::SegUsage {
+                state: SegState::Scratch,
+                live_bytes: 0,
+                last_write_ts: 0,
+            },
+        );
+        self.stats.segments_cleaned += 1;
+        Ok(())
+    }
+
+    /// Orders block ids by (list-of-lists position, position within list);
+    /// blocks not reachable from any list keep their relative order at the
+    /// end.
+    fn order_by_lists(&self, bids: &mut [u64]) {
+        use std::collections::HashMap;
+        let involved: HashSet<u64> = bids
+            .iter()
+            .filter_map(|&b| self.map.get(b).map(|e| e.list))
+            .collect();
+        let order = self.lists.order();
+        let mut rank: HashMap<u64, (usize, usize)> = HashMap::new();
+        for (li, lid) in order.iter().enumerate() {
+            if !involved.contains(lid) {
+                continue;
+            }
+            for (bi, bid) in self.walk_list(*lid).into_iter().enumerate() {
+                rank.insert(bid, (li, bi));
+            }
+        }
+        bids.sort_by_key(|b| rank.get(b).copied().unwrap_or((usize::MAX, usize::MAX)));
+    }
+
+    /// Reads and decodes the summary of a segment; `Ok(None)` when the
+    /// region holds no valid summary.
+    pub(crate) fn read_summary(&mut self, seg: u32) -> Result<Option<Summary>> {
+        let mut buf = vec![0u8; self.layout.summary_bytes];
+        self.disk
+            .read_sectors(self.layout.summary_base(seg), &mut buf)
+            .map_err(dev)?;
+        Ok(crate::records::decode_summary(&buf))
+    }
+
+    /// Idle-period disk reorganizer (paper §3: "During idle periods the
+    /// reorganizer will try to improve the layout of blocks and lists on
+    /// disk and to clean segments").
+    ///
+    /// Rewrites up to `max_lists` of the most fragmented lists in list
+    /// order (physically clustering them) and then cleans up to
+    /// `max_segments` low-utilization segments. Returns
+    /// `(lists_rewritten, segments_cleaned)`.
+    pub fn reorganize(&mut self, max_lists: u32, max_segments: u32) -> Result<(u32, u32)> {
+        self.check_up()?;
+        // Score lists by fragmentation: number of segment changes while
+        // walking the list (0 = perfectly clustered).
+        let mut scored: Vec<(u64, u64)> = Vec::new();
+        for (lid, _) in self.lists.iter() {
+            let blocks = self.walk_list(lid);
+            if blocks.len() < 2 {
+                continue;
+            }
+            let mut breaks = 0u64;
+            let mut prev_seg: Option<u32> = None;
+            for b in &blocks {
+                let seg = self.map.get(*b).map(|e| e.seg);
+                if let (Some(p), Some(s)) = (prev_seg, seg) {
+                    if p != s {
+                        breaks += 1;
+                    }
+                }
+                prev_seg = seg;
+            }
+            if breaks > 0 {
+                scored.push((breaks, lid));
+            }
+        }
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+
+        let mut rewritten = 0u32;
+        for (_, lid) in scored.into_iter().take(max_lists as usize) {
+            if self.usage.free_count() <= self.config.cleaning_reserve_segments {
+                self.clean_to_reserve()?;
+            }
+            self.cleaning = true;
+            let result = self.rewrite_list(lid);
+            self.cleaning = false;
+            result?;
+            rewritten += 1;
+        }
+        let cleaned = self.clean(max_segments)?;
+        Ok((rewritten, cleaned))
+    }
+
+    /// Adaptive block rearrangement (§5.3, after Akyürek & Salem): collects
+    /// the most frequently accessed blocks into a contiguous run of
+    /// segments, so the head stays in a small hot region instead of
+    /// sweeping the whole disk. Access frequencies are "acquired by
+    /// monitoring the stream of disk accesses" — LLD counts every block
+    /// read and write — and halved afterwards so the estimate adapts.
+    ///
+    /// Returns the number of blocks moved.
+    pub fn reorganize_hot(&mut self, max_blocks: usize) -> Result<u32> {
+        self.check_up()?;
+        // Rank live on-disk blocks by heat.
+        let mut hot: Vec<(u32, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.on_disk())
+            .map(|(bid, _)| {
+                let h = self.heat.get(bid as usize).copied().unwrap_or(0);
+                (h, bid)
+            })
+            .filter(|(h, _)| *h > 0)
+            .collect();
+        hot.sort_unstable_by(|a, b| b.cmp(a));
+        hot.truncate(max_blocks);
+        let mut bids: Vec<u64> = hot.into_iter().map(|(_, bid)| bid).collect();
+        // Keep list order within the hot set so sequential runs survive.
+        self.order_by_lists(&mut bids);
+
+        // Start on a fresh segment so the hot region is contiguous.
+        self.cleaning = true;
+        let result = (|| -> Result<u32> {
+            self.seal()?;
+            let mut moved = 0u32;
+            let chunk_bytes = self
+                .config
+                .cleaning_reserve_segments
+                .saturating_sub(2)
+                .max(1) as usize
+                * self.layout.data_bytes;
+            let mut streamed = 0usize;
+            for bid in bids {
+                if streamed >= chunk_bytes {
+                    streamed = 0;
+                    if self.usage.free_count() <= self.config.cleaning_reserve_segments {
+                        self.cleaning = false;
+                        let r = self.clean_to_reserve();
+                        self.cleaning = true;
+                        r?;
+                    }
+                }
+                let Some(e) = self.map.get(bid).copied() else {
+                    continue;
+                };
+                if !e.on_disk() {
+                    continue;
+                }
+                let bytes = {
+                    let (start, count) = self.layout.data_sector_span(
+                        e.seg,
+                        e.offset as usize,
+                        e.stored_len as usize,
+                    );
+                    let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
+                    self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                    let begin = e.offset as usize % simdisk::SECTOR_SIZE;
+                    sectors[begin..begin + e.stored_len as usize].to_vec()
+                };
+                self.ensure_room(bytes.len(), 1)?;
+                let still_there = self
+                    .map
+                    .get(bid)
+                    .is_some_and(|cur| cur.seg == e.seg && cur.offset == e.offset);
+                if !still_there {
+                    continue;
+                }
+                let offset = self.open.append_data(&bytes);
+                self.log_internal(Record::WriteBlock {
+                    bid,
+                    offset,
+                    stored_len: e.stored_len,
+                    logical_len: e.logical_len,
+                    compressed: e.compressed,
+                });
+                self.usage.sub_live(e.seg, u64::from(e.stored_len));
+                let entry = self.map.get_mut(bid).expect("checked");
+                entry.seg = OPEN_SEG;
+                entry.offset = offset;
+                self.open_live += u64::from(e.stored_len);
+                self.open_bids.push(bid);
+                streamed += e.stored_len as usize;
+                moved += 1;
+            }
+            self.seal()?;
+            Ok(moved)
+        })();
+        self.cleaning = false;
+        // Age the estimates.
+        for h in &mut self.heat {
+            *h /= 2;
+        }
+        result
+    }
+
+    /// Rewrites every block of a list, in list order, into the current
+    /// segment — clustering the list physically.
+    ///
+    /// Cleaning is deferred while a chunk of the list streams out (the
+    /// cleaner would interleave forwarded foreign blocks into the open
+    /// segment and fragment the very list being clustered), but runs
+    /// between chunks so long lists cannot starve the free pool.
+    fn rewrite_list(&mut self, lid: u64) -> Result<()> {
+        let chunk_bytes = self
+            .config
+            .cleaning_reserve_segments
+            .saturating_sub(2)
+            .max(1) as usize
+            * self.layout.data_bytes;
+        let mut streamed = 0usize;
+        for bid in self.walk_list(lid) {
+            if streamed >= chunk_bytes {
+                streamed = 0;
+                if self.usage.free_count() <= self.config.cleaning_reserve_segments {
+                    self.cleaning = false;
+                    let r = self.clean_to_reserve();
+                    self.cleaning = true;
+                    r?;
+                }
+            }
+            let e = *self.map.get(bid).expect("walked");
+            if !e.on_disk() {
+                continue; // Already in memory (clustered by definition).
+            }
+            let bytes = {
+                let (start, count) =
+                    self.layout
+                        .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
+                let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
+                self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                let begin = e.offset as usize % simdisk::SECTOR_SIZE;
+                sectors[begin..begin + e.stored_len as usize].to_vec()
+            };
+            self.ensure_room(bytes.len(), 1)?;
+            // The seal inside ensure_room can trigger the cleaner, which
+            // may itself have forwarded this block; only proceed if the
+            // copy we read is still the live one.
+            let still_there = self
+                .map
+                .get(bid)
+                .is_some_and(|cur| cur.seg == e.seg && cur.offset == e.offset);
+            if !still_there {
+                continue;
+            }
+            let offset = self.open.append_data(&bytes);
+            self.log_internal(Record::WriteBlock {
+                bid,
+                offset,
+                stored_len: e.stored_len,
+                logical_len: e.logical_len,
+                compressed: e.compressed,
+            });
+            self.usage.sub_live(e.seg, u64::from(e.stored_len));
+            let entry = self.map.get_mut(bid).expect("walked");
+            entry.seg = OPEN_SEG;
+            entry.offset = offset;
+            self.open_live += u64::from(e.stored_len);
+            self.open_bids.push(bid);
+            streamed += e.stored_len as usize;
+        }
+        self.stats.reorganized_lists += 1;
+        Ok(())
+    }
+}

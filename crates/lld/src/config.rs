@@ -1,0 +1,172 @@
+//! Configuration of the log-structured Logical Disk.
+
+use crate::cleaner::CleaningPolicy;
+
+/// Modeled CPU costs charged to the simulated clock per LD operation.
+///
+/// The paper measured on a 33 MHz SPARCstation; these constants let the
+/// CPU-bound effects it reports (most prominently the ~15 % list-maintenance
+/// overhead during create/delete phases, §4.2) show up in simulated time.
+/// Set everything to zero for a pure-I/O model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuModel {
+    /// Cost of one LD command dispatch (argument checking, map lookup).
+    pub per_command_us: u64,
+    /// Cost of copying/checksumming one block into the segment buffer, per
+    /// 4 KB of data.
+    pub per_block_copy_us: u64,
+    /// Cost of one list-maintenance step (link-tuple creation, predecessor
+    /// search step, list-head update).
+    pub per_list_op_us: u64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self {
+            per_command_us: 30,
+            per_block_copy_us: 120,
+            per_list_op_us: 60,
+        }
+    }
+}
+
+impl CpuModel {
+    /// A model with no CPU cost at all.
+    pub fn free() -> Self {
+        Self {
+            per_command_us: 0,
+            per_block_copy_us: 0,
+            per_list_op_us: 0,
+        }
+    }
+}
+
+/// Configuration for [`crate::Lld`].
+#[derive(Debug, Clone)]
+pub struct LldConfig {
+    /// Segment size in bytes (paper default: 512 KB; §4.2 sweeps 64–512 KB).
+    pub segment_bytes: usize,
+    /// Bytes at the fixed end of each segment reserved for the segment
+    /// summary. Must be a multiple of the sector size.
+    pub summary_bytes: usize,
+    /// Default block size class (paper: 4 KB).
+    pub default_block_size: usize,
+    /// Fill fraction (percent) above which a `Flush` seals the segment as
+    /// full instead of writing a partial segment (paper §3.2: "for example,
+    /// 75% of its capacity").
+    pub flush_threshold_pct: u32,
+    /// Segments withheld from payload capacity so the cleaner always has
+    /// room to compact into.
+    pub cleaning_reserve_segments: u32,
+    /// Which segments the cleaner picks first.
+    pub cleaning_policy: CleaningPolicy,
+    /// Maintain block lists (link tuples, clustering). Disabled only by the
+    /// §4.2 list-overhead experiment; recovery of list structure is
+    /// unsupported while disabled.
+    pub maintain_lists: bool,
+    /// Use the device's battery-backed NVRAM (if any) to absorb
+    /// below-threshold flushes instead of writing partial segments —
+    /// the Baker et al. extension the paper expects to carry over (§5.3).
+    pub use_nvram: bool,
+    /// Modeled CPU costs.
+    pub cpu: CpuModel,
+    /// Modeled compression bandwidth (see [`ldcomp::CostModel`]).
+    pub compression_cost: ldcomp::CostModel,
+}
+
+impl Default for LldConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 512 << 10,
+            summary_bytes: 8 << 10,
+            default_block_size: 4096,
+            flush_threshold_pct: 75,
+            cleaning_reserve_segments: 4,
+            cleaning_policy: CleaningPolicy::CostBenefit,
+            maintain_lists: true,
+            use_nvram: true,
+            cpu: CpuModel::default(),
+            compression_cost: ldcomp::CostModel::default(),
+        }
+    }
+}
+
+impl LldConfig {
+    /// A configuration convenient for unit tests: small segments, no CPU
+    /// model, greedy cleaning.
+    pub fn small_for_tests() -> Self {
+        Self {
+            segment_bytes: 64 << 10,
+            summary_bytes: 4 << 10,
+            flush_threshold_pct: 75,
+            cleaning_reserve_segments: 3,
+            cleaning_policy: CleaningPolicy::Greedy,
+            cpu: CpuModel::free(),
+            compression_cost: ldcomp::CostModel::free(),
+            ..Self::default()
+        }
+    }
+
+    /// Payload bytes available in each segment.
+    pub fn segment_data_bytes(&self) -> usize {
+        self.segment_bytes - self.summary_bytes
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero sizes, summary larger
+    /// than the segment, misaligned sizes) — these are programming errors,
+    /// not runtime conditions.
+    pub fn validate(&self) {
+        let sector = simdisk::SECTOR_SIZE;
+        assert!(self.segment_bytes > 0 && self.segment_bytes.is_multiple_of(sector));
+        assert!(self.summary_bytes >= sector && self.summary_bytes.is_multiple_of(sector));
+        assert!(
+            self.summary_bytes < self.segment_bytes,
+            "summary must leave room for data"
+        );
+        assert!(self.default_block_size > 0);
+        assert!(
+            self.default_block_size <= self.segment_data_bytes(),
+            "a block must fit in one segment"
+        );
+        assert!((1..=100).contains(&self.flush_threshold_pct));
+        assert!(
+            self.cleaning_reserve_segments >= 2,
+            "cleaner needs headroom"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paper_shaped() {
+        let c = LldConfig::default();
+        c.validate();
+        assert_eq!(c.segment_bytes, 512 << 10);
+        assert_eq!(c.default_block_size, 4096);
+        assert_eq!(c.flush_threshold_pct, 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for data")]
+    fn oversized_summary_rejected() {
+        let c = LldConfig {
+            summary_bytes: 64 << 10,
+            segment_bytes: 64 << 10,
+            ..LldConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn segment_data_bytes_excludes_summary() {
+        let c = LldConfig::default();
+        assert_eq!(c.segment_data_bytes(), (512 << 10) - (8 << 10));
+    }
+}

@@ -1,0 +1,131 @@
+//! On-disk layout: checkpoint header region followed by fixed-size segments.
+//!
+//! ```text
+//! sector 0                ckpt header (1 sector)
+//! sector 1 ..             (reserved, currently unused)
+//! sector HDR ..           segment 0:  [ data region | summary ]
+//!                         segment 1:  [ data region | summary ]
+//!                         ...
+//! ```
+//!
+//! The summary sits at a *fixed offset at the end of every segment* — the
+//! property the paper calls "vital for LLD's approach to recovery" (§3.2):
+//! the recovery sweep reads exactly one summary region per segment, and
+//! because the summary is written after (or together with) the data it
+//! describes, a torn segment write leaves no valid summary and the whole
+//! segment is ignored, which is precisely the paper's recovery guarantee
+//! ("up to the last segment successfully written", §5.2).
+
+use simdisk::SECTOR_SIZE;
+
+/// Sectors reserved at the front of the disk for the checkpoint header.
+pub const HEADER_SECTORS: u64 = 8;
+
+/// Computed disk layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Total segments on the device.
+    pub segments: u32,
+    /// Sectors per segment.
+    pub segment_sectors: u64,
+    /// Bytes per segment.
+    pub segment_bytes: usize,
+    /// Bytes of each segment used for payload data.
+    pub data_bytes: usize,
+    /// Bytes of each segment used for the summary.
+    pub summary_bytes: usize,
+}
+
+impl Layout {
+    /// Computes the layout for a device of `total_sectors` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device cannot hold at least one segment plus the
+    /// header region — a configuration error.
+    pub fn compute(total_sectors: u64, segment_bytes: usize, summary_bytes: usize) -> Self {
+        let segment_sectors = (segment_bytes / SECTOR_SIZE) as u64;
+        let usable = total_sectors.saturating_sub(HEADER_SECTORS);
+        let segments = usable / segment_sectors;
+        assert!(
+            segments >= 1,
+            "device too small: {total_sectors} sectors cannot hold one {segment_bytes}-byte segment"
+        );
+        Self {
+            segments: u32::try_from(segments).expect("segment count overflow"),
+            segment_sectors,
+            segment_bytes,
+            data_bytes: segment_bytes - summary_bytes,
+            summary_bytes,
+        }
+    }
+
+    /// First sector of segment `seg`.
+    pub fn segment_base(&self, seg: u32) -> u64 {
+        assert!(seg < self.segments, "segment {seg} out of range");
+        HEADER_SECTORS + u64::from(seg) * self.segment_sectors
+    }
+
+    /// First sector of segment `seg`'s summary region.
+    pub fn summary_base(&self, seg: u32) -> u64 {
+        self.segment_base(seg) + (self.data_bytes / SECTOR_SIZE) as u64
+    }
+
+    /// Sectors in each summary region.
+    pub fn summary_sectors(&self) -> u64 {
+        (self.summary_bytes / SECTOR_SIZE) as u64
+    }
+
+    /// The sector range (start, count) covering byte range
+    /// `offset..offset + len` of segment `seg`'s data region, aligned
+    /// outward to sector boundaries.
+    pub fn data_sector_span(&self, seg: u32, offset: usize, len: usize) -> (u64, u64) {
+        assert!(offset + len <= self.data_bytes, "span beyond data region");
+        let first = offset / SECTOR_SIZE;
+        let last = (offset + len).div_ceil(SECTOR_SIZE);
+        (self.segment_base(seg) + first as u64, (last - first) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_disk_into_segments() {
+        // 1024 sectors of 512B = 512 KB + 8 header sectors.
+        let l = Layout::compute(8 + 3 * 128, 64 << 10, 4 << 10);
+        assert_eq!(l.segments, 3);
+        assert_eq!(l.segment_sectors, 128);
+        assert_eq!(l.segment_base(0), 8);
+        assert_eq!(l.segment_base(2), 8 + 256);
+        assert_eq!(l.data_bytes, 60 << 10);
+        assert_eq!(l.summary_base(0), 8 + 120);
+        assert_eq!(l.summary_sectors(), 8);
+    }
+
+    #[test]
+    fn partial_trailing_segment_is_dropped() {
+        let l = Layout::compute(8 + 128 + 100, 64 << 10, 4 << 10);
+        assert_eq!(l.segments, 1);
+    }
+
+    #[test]
+    fn data_sector_span_is_aligned_outward() {
+        let l = Layout::compute(8 + 128, 64 << 10, 4 << 10);
+        // Bytes 100..612 touch sectors 0 and 1.
+        let (start, count) = l.data_sector_span(0, 100, 512);
+        assert_eq!(start, 8);
+        assert_eq!(count, 2);
+        // Exactly one sector.
+        let (start, count) = l.data_sector_span(0, 512, 512);
+        assert_eq!(start, 9);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_device_rejected() {
+        let _ = Layout::compute(8, 64 << 10, 4 << 10);
+    }
+}

@@ -1,0 +1,190 @@
+//! Main-memory requirements of LLD (paper §3.4, Tables 2 and 3).
+//!
+//! The paper bills LLD's memory with these per-entry costs:
+//!
+//! - **block-number map**: 3 bytes physical address + 3 bytes successor per
+//!   logical block; compression adds at most 2 bytes of length and 1 more
+//!   address byte (9 bytes total) *and* fits 67 % more blocks on the same
+//!   disk (at the assumed 60 % compression ratio);
+//! - **list table**: 4 bytes per list;
+//! - **segment usage table**: 3 bytes per segment.
+//!
+//! [`MemoryModel::paper`] evaluates that model for any configuration
+//! (regenerating Table 2), [`MemoryModel::cost_percentage`] evaluates the
+//! price comparison of Table 3, and [`crate::Lld::memory_report`] applies
+//! the same per-entry billing to a live instance's actual table sizes.
+
+use simdisk::BlockDev;
+
+use crate::Lld;
+
+/// Paper constants (§3.4).
+const BYTES_PER_BLOCK: u64 = 6;
+const BYTES_PER_BLOCK_COMPRESSED: u64 = 9;
+const BYTES_PER_LIST: u64 = 4;
+const BYTES_PER_SEGMENT: u64 = 3;
+/// Assumed compression ratio (compressed size / original size).
+const COMPRESSION_RATIO: f64 = 0.6;
+
+/// How lists are allocated, which determines the list-table size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ListGranularity {
+    /// One list for the whole file system (Table 2, first column).
+    SingleList,
+    /// One list per file with the given average file size (Table 2, second
+    /// column uses 8 KB).
+    PerFile {
+        /// Average file size in bytes.
+        avg_file_bytes: u64,
+    },
+}
+
+/// A memory bill, in bytes, for LLD's three main-memory structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryModel {
+    /// Block-number map bytes.
+    pub block_map_bytes: u64,
+    /// List table bytes.
+    pub list_table_bytes: u64,
+    /// Segment usage table bytes.
+    pub usage_table_bytes: u64,
+}
+
+impl MemoryModel {
+    /// Evaluates the paper's model (Table 2) for a disk of `disk_bytes`
+    /// with the given average block size, segment size, compression
+    /// setting, and list granularity.
+    pub fn paper(
+        disk_bytes: u64,
+        avg_block_bytes: u64,
+        segment_bytes: u64,
+        compression: bool,
+        lists: ListGranularity,
+    ) -> Self {
+        // Effective storage grows under compression: "67% more blocks will
+        // fit (assuming the compression ratio is 60%)".
+        let effective_bytes = if compression {
+            (disk_bytes as f64 / COMPRESSION_RATIO) as u64
+        } else {
+            disk_bytes
+        };
+        let blocks = effective_bytes / avg_block_bytes;
+        let per_block = if compression {
+            BYTES_PER_BLOCK_COMPRESSED
+        } else {
+            BYTES_PER_BLOCK
+        };
+        let nlists = match lists {
+            ListGranularity::SingleList => 1,
+            ListGranularity::PerFile { avg_file_bytes } => effective_bytes / avg_file_bytes,
+        };
+        MemoryModel {
+            block_map_bytes: blocks * per_block,
+            list_table_bytes: nlists * BYTES_PER_LIST,
+            usage_table_bytes: (disk_bytes / segment_bytes) * BYTES_PER_SEGMENT,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.block_map_bytes + self.list_table_bytes + self.usage_table_bytes
+    }
+
+    /// Table 3: the percentage LLD's memory adds to the price of the disk,
+    /// given RAM price ($ per MB) and disk price ($ per GB) and the disk
+    /// size this model was computed for.
+    pub fn cost_percentage(&self, disk_bytes: u64, ram_per_mb: f64, disk_per_gb: f64) -> f64 {
+        let mem_mb = self.total_bytes() as f64 / (1 << 20) as f64;
+        let disk_gb = disk_bytes as f64 / (1 << 30) as f64;
+        100.0 * (mem_mb * ram_per_mb) / (disk_gb * disk_per_gb)
+    }
+}
+
+impl<D: BlockDev> Lld<D> {
+    /// Bills the live instance's actual table sizes with the paper's
+    /// per-entry costs (what this instance "costs" under §3.4 accounting).
+    pub fn memory_report(&self) -> MemoryModel {
+        let compression = self.map.iter().any(|(_, e)| e.compressed);
+        let per_block = if compression {
+            BYTES_PER_BLOCK_COMPRESSED
+        } else {
+            BYTES_PER_BLOCK
+        };
+        MemoryModel {
+            block_map_bytes: self.map.capacity_slots() as u64 * per_block,
+            list_table_bytes: self.lists.allocated() as u64 * BYTES_PER_LIST,
+            usage_table_bytes: u64::from(self.usage.len()) * BYTES_PER_SEGMENT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn table2_no_compression_single_list() {
+        // Paper: 1.5 MB block map, 4 B list table, 6 KB usage table per GB
+        // (4 KB blocks, 512 KB segments).
+        let m = MemoryModel::paper(GB, 4096, 512 << 10, false, ListGranularity::SingleList);
+        assert_eq!(m.block_map_bytes, 262_144 * 6); // = 1.5 MiB
+        assert_eq!(m.block_map_bytes, 3 * MB / 2);
+        assert_eq!(m.list_table_bytes, 4);
+        assert_eq!(m.usage_table_bytes, 2048 * 3); // = 6 KiB
+    }
+
+    #[test]
+    fn table2_compression_list_per_file() {
+        // Paper: 3.8 MB block map, 0.8 MB list table per GB of physical
+        // disk (1.7 GB effective), 8 KB average files.
+        let m = MemoryModel::paper(
+            GB,
+            4096,
+            512 << 10,
+            true,
+            ListGranularity::PerFile {
+                avg_file_bytes: 8192,
+            },
+        );
+        let map_mb = m.block_map_bytes as f64 / MB as f64;
+        assert!((3.6..=4.0).contains(&map_mb), "map {map_mb:.2} MB ≈ 3.8 MB");
+        let list_mb = m.list_table_bytes as f64 / MB as f64;
+        assert!(
+            (0.75..=0.90).contains(&list_mb),
+            "list table {list_mb:.2} MB ≈ 0.8 MB"
+        );
+        let total_mb = m.total_bytes() as f64 / MB as f64;
+        assert!(
+            (4.4..=4.8).contains(&total_mb),
+            "total {total_mb:.2} MB ≈ 4.6 MB"
+        );
+    }
+
+    #[test]
+    fn table3_cost_percentages() {
+        // Paper Table 3: $50/MB RAM, $750/GB disk → 10% (best case,
+        // 1.5 MB/GB) or 31% (worst case, 4.6 MB/GB).
+        let best = MemoryModel::paper(GB, 4096, 512 << 10, false, ListGranularity::SingleList);
+        let pct = best.cost_percentage(GB, 50.0, 750.0);
+        assert!((9.0..=11.0).contains(&pct), "best case {pct:.1}% ≈ 10%");
+
+        let worst = MemoryModel::paper(
+            GB,
+            4096,
+            512 << 10,
+            true,
+            ListGranularity::PerFile {
+                avg_file_bytes: 8192,
+            },
+        );
+        let pct = worst.cost_percentage(GB, 50.0, 750.0);
+        assert!((28.0..=33.0).contains(&pct), "worst case {pct:.1}% ≈ 31%");
+
+        // Cheap RAM, expensive disk: $30/MB and $1500/GB → 3%.
+        let pct = best.cost_percentage(GB, 30.0, 1500.0);
+        assert!((2.5..=3.5).contains(&pct), "{pct:.1}% ≈ 3%");
+    }
+}

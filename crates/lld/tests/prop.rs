@@ -1,0 +1,383 @@
+//! Property tests for LLD.
+//!
+//! 1. **Differential**: a random operation sequence applied to both LLD and
+//!    the trivially-correct in-memory `ModelLd` must produce identical
+//!    observable behaviour (same results, same list structures, same block
+//!    contents).
+//! 2. **Crash-anywhere**: after a random prefix of operations and a crash,
+//!    recovery must reconstruct exactly the state as of the last `Flush`
+//!    (plus anything in sealed segments), with ARU atomicity.
+
+use ld_core::model::ModelLd;
+use ld_core::{Bid, FailureSet, LdError, Lid, ListHints, LogicalDisk, Pred, PredList};
+use lld::{Lld, LldConfig};
+use proptest::prelude::*;
+use simdisk::MemDisk;
+
+/// A random LD operation, with indices into the live id vectors so that
+/// most operations hit valid targets.
+#[derive(Debug, Clone)]
+enum Op {
+    NewList {
+        pred: usize,
+        compress: bool,
+    },
+    DeleteList {
+        lid: usize,
+    },
+    NewBlock {
+        lid: usize,
+        pred: usize,
+        small: bool,
+    },
+    DeleteBlock {
+        bid: usize,
+        hint: bool,
+    },
+    Write {
+        bid: usize,
+        len: usize,
+        seed: u8,
+    },
+    Read {
+        bid: usize,
+    },
+    Flush,
+    AruBlock {
+        lid: usize,
+        len: usize,
+        seed: u8,
+    },
+    MoveList {
+        lid: usize,
+        pred: usize,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+    },
+    BlockAt {
+        lid: usize,
+        index: u64,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (any::<prop::sample::Index>(), any::<bool>())
+            .prop_map(|(pred, compress)| Op::NewList { pred: pred.index(64), compress }),
+        1 => any::<prop::sample::Index>().prop_map(|l| Op::DeleteList { lid: l.index(64) }),
+        6 => (any::<prop::sample::Index>(), any::<prop::sample::Index>(), any::<bool>())
+            .prop_map(|(l, p, small)| Op::NewBlock { lid: l.index(64), pred: p.index(64), small }),
+        2 => (any::<prop::sample::Index>(), any::<bool>())
+            .prop_map(|(b, hint)| Op::DeleteBlock { bid: b.index(64), hint }),
+        8 => (any::<prop::sample::Index>(), 0usize..4096, any::<u8>())
+            .prop_map(|(b, len, seed)| Op::Write { bid: b.index(64), len, seed }),
+        4 => any::<prop::sample::Index>().prop_map(|b| Op::Read { bid: b.index(64) }),
+        2 => Just(Op::Flush),
+        2 => (any::<prop::sample::Index>(), 0usize..2048, any::<u8>())
+            .prop_map(|(l, len, seed)| Op::AruBlock { lid: l.index(64), len, seed }),
+        1 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(l, p)| Op::MoveList { lid: l.index(64), pred: p.index(64) }),
+        2 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Op::Swap { a: a.index(64), b: b.index(64) }),
+        2 => (any::<prop::sample::Index>(), 0u64..12)
+            .prop_map(|(l, index)| Op::BlockAt { lid: l.index(64), index }),
+    ]
+}
+
+fn data(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(17) ^ seed)
+        .collect()
+}
+
+fn pick<T: Copy>(v: &[T], idx: usize) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v[idx % v.len()])
+    }
+}
+
+/// Applies one op to both implementations and checks agreement.
+fn apply_both(
+    lld: &mut Lld<MemDisk>,
+    model: &mut ModelLd,
+    lids: &mut Vec<Lid>,
+    bids: &mut Vec<Bid>,
+    op: &Op,
+) -> Result<(), TestCaseError> {
+    match op {
+        Op::NewList { pred, compress } => {
+            let pred = match pick(lids, *pred) {
+                Some(l) => PredList::After(l),
+                None => PredList::Start,
+            };
+            let hints = if *compress {
+                ListHints::compressed()
+            } else {
+                ListHints::default()
+            };
+            let a = lld.new_list(pred, hints);
+            let b = model.new_list(pred, hints);
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "new_list disagreement");
+            if let Ok(l) = a {
+                prop_assert_eq!(l, b.unwrap(), "lid allocation must match");
+                lids.push(l);
+            }
+        }
+        Op::DeleteList { lid } => {
+            let Some(l) = pick(lids, *lid) else {
+                return Ok(());
+            };
+            let dead_a = lld.list_blocks(l).unwrap_or_default();
+            let a = lld.delete_list(l, None);
+            let b = model.delete_list(l, None);
+            prop_assert_eq!(&a, &b, "delete_list disagreement");
+            if a.is_ok() {
+                lids.retain(|&x| x != l);
+                bids.retain(|x| !dead_a.contains(x));
+            }
+        }
+        Op::NewBlock { lid, pred, small } => {
+            let Some(l) = pick(lids, *lid) else {
+                return Ok(());
+            };
+            let pred = match pick(bids, *pred) {
+                Some(b) => Pred::After(b),
+                None => Pred::Start,
+            };
+            let size = if *small { 256 } else { 4096 };
+            let a = lld.new_block_with_size(l, pred, size);
+            let b = model.new_block_with_size(l, pred, size);
+            prop_assert_eq!(&a, &b, "new_block disagreement");
+            if let Ok(bid) = a {
+                bids.push(bid);
+            }
+        }
+        Op::DeleteBlock { bid, hint } => {
+            let Some(b) = pick(bids, *bid) else {
+                return Ok(());
+            };
+            // Find the owning list from the model via brute force.
+            let mut owner = None;
+            for l in lids.iter() {
+                if model.list_blocks(*l).is_ok_and(|bs| bs.contains(&b)) {
+                    owner = Some(*l);
+                    break;
+                }
+            }
+            let Some(l) = owner else { return Ok(()) };
+            let hint = if *hint { Some(b) } else { None }; // Deliberately wrong hint sometimes.
+            let a = lld.delete_block(b, l, hint);
+            let m = model.delete_block(b, l, hint);
+            prop_assert_eq!(&a, &m, "delete_block disagreement");
+            if a.is_ok() {
+                bids.retain(|&x| x != b);
+            }
+        }
+        Op::Write { bid, len, seed } => {
+            let Some(b) = pick(bids, *bid) else {
+                return Ok(());
+            };
+            let payload = data(*len, *seed);
+            let a = lld.write(b, &payload);
+            let m = model.write(b, &payload);
+            prop_assert_eq!(&a, &m, "write disagreement");
+        }
+        Op::Read { bid } => {
+            let Some(b) = pick(bids, *bid) else {
+                return Ok(());
+            };
+            let mut ba = vec![0u8; 8192];
+            let mut bm = vec![0u8; 8192];
+            let a = lld.read(b, &mut ba);
+            let m = model.read(b, &mut bm);
+            prop_assert_eq!(&a, &m, "read disagreement");
+            if let Ok(n) = a {
+                prop_assert_eq!(&ba[..n], &bm[..n], "read contents disagree");
+            }
+        }
+        Op::Flush => {
+            prop_assert_eq!(
+                lld.flush(FailureSet::PowerFailure),
+                model.flush(FailureSet::PowerFailure)
+            );
+        }
+        Op::AruBlock { lid, len, seed } => {
+            let Some(l) = pick(lids, *lid) else {
+                return Ok(());
+            };
+            let payload = data(*len, *seed);
+            let a = ld_core::with_aru(lld, |ld| {
+                let b = ld.new_block(l, Pred::Start)?;
+                ld.write(b, &payload)?;
+                Ok(b)
+            });
+            let m = ld_core::with_aru(model, |ld| {
+                let b = ld.new_block(l, Pred::Start)?;
+                ld.write(b, &payload)?;
+                Ok(b)
+            });
+            prop_assert_eq!(&a, &m, "ARU disagreement");
+            if let Ok(b) = a {
+                bids.push(b);
+            }
+        }
+        Op::MoveList { lid, pred } => {
+            let Some(l) = pick(lids, *lid) else {
+                return Ok(());
+            };
+            let pred = match pick(lids, *pred) {
+                Some(p) if p != l => PredList::After(p),
+                _ => PredList::Start,
+            };
+            let a = lld.move_list(l, pred);
+            let m = model.move_list(l, pred);
+            prop_assert_eq!(&a, &m, "move_list disagreement");
+        }
+        Op::Swap { a, b } => {
+            let (Some(x), Some(y)) = (pick(bids, *a), pick(bids, *b)) else {
+                return Ok(());
+            };
+            let ra = lld.swap_contents(x, y);
+            let rm = model.swap_contents(x, y);
+            prop_assert_eq!(&ra, &rm, "swap_contents disagreement");
+        }
+        Op::BlockAt { lid, index } => {
+            let Some(l) = pick(lids, *lid) else {
+                return Ok(());
+            };
+            prop_assert_eq!(
+                lld.block_at(l, *index),
+                model.block_at(l, *index),
+                "block_at disagreement"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Checks full observable equivalence of the two implementations.
+fn check_equivalent(
+    lld: &mut Lld<MemDisk>,
+    model: &mut ModelLd,
+    lids: &[Lid],
+    bids: &[Bid],
+) -> Result<(), TestCaseError> {
+    for l in lids {
+        prop_assert_eq!(
+            lld.list_blocks(*l),
+            model.list_blocks(*l),
+            "list {} structure",
+            l
+        );
+    }
+    for b in bids {
+        let mut ba = vec![0u8; 8192];
+        let mut bm = vec![0u8; 8192];
+        let a = lld.read(*b, &mut ba);
+        let m = model.read(*b, &mut bm);
+        prop_assert_eq!(&a, &m, "final read of {}", b);
+        if let Ok(n) = a {
+            prop_assert_eq!(&ba[..n], &bm[..n], "final contents of {}", b);
+        }
+    }
+    Ok(())
+}
+
+fn test_config() -> LldConfig {
+    LldConfig {
+        segment_bytes: 32 << 10,
+        summary_bytes: 4 << 10,
+        cleaning_reserve_segments: 3,
+        cpu: lld::CpuModel::free(),
+        compression_cost: ldcomp::CostModel::free(),
+        ..LldConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// LLD behaves exactly like the reference model under random workloads.
+    #[test]
+    fn lld_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let disk = MemDisk::with_capacity(8 << 20);
+        let mut lld = Lld::format(disk, test_config()).unwrap();
+        // The model has a different capacity-accounting granularity; size it
+        // identically to LLD's payload capacity so NoSpace agrees.
+        let mut model = ModelLd::new(lld.capacity_bytes(), 4096);
+        let mut lids = Vec::new();
+        let mut bids = Vec::new();
+        for op in &ops {
+            apply_both(&mut lld, &mut model, &mut lids, &mut bids, op)?;
+        }
+        check_equivalent(&mut lld, &mut model, &lids, &bids)?;
+    }
+
+    /// After a crash, recovery reproduces exactly the model state as of the
+    /// last flush; operations after it are absent (all or nothing per ARU).
+    #[test]
+    fn crash_recovers_last_flushed_state(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        flush_at in 0usize..100,
+    ) {
+        let disk = MemDisk::with_capacity(8 << 20);
+        let mut lld = Lld::format(disk, test_config()).unwrap();
+        let mut model = ModelLd::new(lld.capacity_bytes(), 4096);
+        let mut lids = Vec::new();
+        let mut bids = Vec::new();
+
+        // Run a prefix, then an explicit flush, snapshotting the model.
+        let flush_at = flush_at.min(ops.len());
+        for op in &ops[..flush_at] {
+            apply_both(&mut lld, &mut model, &mut lids, &mut bids, op)?;
+        }
+        lld.flush(FailureSet::PowerFailure).unwrap();
+        let snapshot = model.clone();
+        let snap_lids = lids.clone();
+        let snap_bids = bids.clone();
+
+        // Run the rest without flushing (ops may still seal segments on
+        // their own — those survive; that is allowed by the contract, but
+        // for a *deterministic* oracle we only check that flushed state is
+        // a lower bound and recovered state is consistent).
+        let mut sealed_after = false;
+        for op in &ops[flush_at..] {
+            let before = lld.stats().segments_sealed + lld.stats().partial_segment_writes;
+            apply_both(&mut lld, &mut model, &mut lids, &mut bids, op)?;
+            if lld.stats().segments_sealed + lld.stats().partial_segment_writes != before {
+                sealed_after = true;
+            }
+        }
+
+        // Crash and recover.
+        let config = lld.config().clone();
+        let disk = lld.into_disk();
+        let mut rec = Lld::open(disk, config).unwrap();
+
+        if !sealed_after {
+            // Nothing after the flush reached the medium: recovered state
+            // must equal the snapshot exactly.
+            let mut snap = snapshot;
+            check_equivalent(&mut rec, &mut snap, &snap_lids, &snap_bids)?;
+            // Blocks created after the flush must not exist.
+            for b in bids.iter().filter(|b| !snap_bids.contains(b)) {
+                let r = rec.read(*b, &mut vec![0u8; 8192]);
+                prop_assert_eq!(r, Err(LdError::UnknownBlock(*b)));
+            }
+        } else {
+            // Some suffix state reached the disk on its own; recovery must
+            // still produce an internally consistent LLD: every list walks
+            // without error and every block on a list reads successfully.
+            for l in rec.list_of_lists() {
+                for b in rec.list_blocks(l).unwrap() {
+                    let mut buf = vec![0u8; 8192];
+                    prop_assert!(rec.read(b, &mut buf).is_ok(), "block {} unreadable", b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! File-system error type.
+
+use fsutil::PathError;
+
+/// Errors returned by [`crate::MinixFs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component or final target does not exist.
+    NotFound,
+    /// Target already exists (create/mkdir).
+    Exists,
+    /// A non-final path component is not a directory.
+    NotDir,
+    /// A file operation was applied to a directory (or vice versa).
+    IsDir,
+    /// Directory still has entries (rmdir).
+    NotEmpty,
+    /// Out of data blocks.
+    NoSpace,
+    /// Out of i-nodes.
+    NoInodes,
+    /// Malformed path.
+    Path(PathError),
+    /// The store rejected an operation or the medium failed.
+    Store(String),
+    /// The on-disk image is not a valid file system.
+    BadSuperblock,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::Exists => write!(f, "file exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free i-nodes"),
+            FsError::Path(e) => write!(f, "{e}"),
+            FsError::Store(msg) => write!(f, "store error: {msg}"),
+            FsError::BadSuperblock => write!(f, "not a valid file system image"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<PathError> for FsError {
+    fn from(e: PathError) -> Self {
+        FsError::Path(e)
+    }
+}
+
+/// Result alias for file-system operations.
+pub type Result<T> = std::result::Result<T, FsError>;

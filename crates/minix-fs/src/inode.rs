@@ -1,0 +1,184 @@
+//! MINIX-style i-nodes: 64 bytes, 7 direct zones, one indirect, one
+//! double-indirect (paper §4.1/§5.1).
+//!
+//! Zone pointers hold store addresses with `0` meaning "no block". The
+//! `group` field is the §4.1 extension: "MINIX stores the list identifier
+//! in the i-node, so that it can remember the list identifier for each
+//! file" (0 = the shared group).
+
+use crate::error::{FsError, Result};
+use crate::store::Addr;
+
+/// Bytes per encoded i-node (also the small-block size class, §4.1:
+/// "MINIX allocates a 64-byte block for each i-node").
+pub const INODE_SIZE: usize = 64;
+/// Direct zones per i-node.
+pub const DIRECT_ZONES: usize = 7;
+/// Index of the indirect zone pointer.
+pub const IND: usize = 7;
+/// Index of the double-indirect zone pointer.
+pub const DIND: usize = 8;
+/// Total zone pointers.
+pub const ZONES: usize = 9;
+
+/// File type stored in an i-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Dir,
+}
+
+/// An in-memory i-node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inode {
+    /// File type.
+    pub ftype: FileType,
+    /// Link count (1 in this prototype; no hard links).
+    pub nlinks: u16,
+    /// File size in bytes.
+    pub size: u32,
+    /// Modification time (seconds of simulated time).
+    pub mtime: u32,
+    /// Allocation group (LD list id + 1; 0 = shared group).
+    pub group: u32,
+    /// Zone pointers; 0 = hole/unallocated.
+    pub zones: [Addr; ZONES],
+}
+
+impl Inode {
+    /// A fresh i-node of the given type.
+    pub fn new(ftype: FileType, group: u32, mtime: u32) -> Self {
+        Self {
+            ftype,
+            nlinks: 1,
+            size: 0,
+            mtime,
+            group,
+            zones: [0; ZONES],
+        }
+    }
+
+    /// Encodes into a 64-byte slot. A zeroed slot decodes as "free".
+    pub fn encode(&self, slot: &mut [u8]) {
+        assert_eq!(slot.len(), INODE_SIZE);
+        slot.fill(0);
+        let t: u16 = match self.ftype {
+            FileType::Regular => 1,
+            FileType::Dir => 2,
+        };
+        slot[0..2].copy_from_slice(&t.to_le_bytes());
+        slot[2..4].copy_from_slice(&self.nlinks.to_le_bytes());
+        slot[4..8].copy_from_slice(&self.size.to_le_bytes());
+        slot[8..12].copy_from_slice(&self.mtime.to_le_bytes());
+        slot[12..16].copy_from_slice(&self.group.to_le_bytes());
+        for (i, z) in self.zones.iter().enumerate() {
+            slot[16 + i * 4..20 + i * 4].copy_from_slice(&z.to_le_bytes());
+        }
+    }
+
+    /// Decodes a 64-byte slot; `None` when the slot is free.
+    pub fn decode(slot: &[u8]) -> Option<Self> {
+        assert_eq!(slot.len(), INODE_SIZE);
+        let t = u16::from_le_bytes(slot[0..2].try_into().expect("fixed"));
+        let ftype = match t {
+            0 => return None,
+            1 => FileType::Regular,
+            2 => FileType::Dir,
+            _ => return None,
+        };
+        let mut zones = [0; ZONES];
+        for (i, z) in zones.iter_mut().enumerate() {
+            *z = u32::from_le_bytes(slot[16 + i * 4..20 + i * 4].try_into().expect("fixed"));
+        }
+        Some(Self {
+            ftype,
+            nlinks: u16::from_le_bytes(slot[2..4].try_into().expect("fixed")),
+            size: u32::from_le_bytes(slot[4..8].try_into().expect("fixed")),
+            mtime: u32::from_le_bytes(slot[8..12].try_into().expect("fixed")),
+            group: u32::from_le_bytes(slot[12..16].try_into().expect("fixed")),
+            zones,
+        })
+    }
+}
+
+/// Where a file block's zone pointer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZonePath {
+    /// `zones[i]` directly.
+    Direct(usize),
+    /// Entry `i` of the indirect block.
+    Indirect(usize),
+    /// Entry `j` of indirect block `i` under the double-indirect block.
+    Double(usize, usize),
+}
+
+/// Maps a file block index to its zone location, for a block size with
+/// `ppb` pointers per indirect block.
+pub fn zone_path(block_idx: u64, ppb: usize) -> Result<ZonePath> {
+    let d = DIRECT_ZONES as u64;
+    let ppb64 = ppb as u64;
+    if block_idx < d {
+        return Ok(ZonePath::Direct(block_idx as usize));
+    }
+    let idx = block_idx - d;
+    if idx < ppb64 {
+        return Ok(ZonePath::Indirect(idx as usize));
+    }
+    let idx = idx - ppb64;
+    if idx < ppb64 * ppb64 {
+        return Ok(ZonePath::Double(
+            (idx / ppb64) as usize,
+            (idx % ppb64) as usize,
+        ));
+    }
+    Err(FsError::NoSpace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut ino = Inode::new(FileType::Dir, 5, 1234);
+        ino.size = 8192;
+        ino.zones[0] = 17;
+        ino.zones[IND] = 99;
+        let mut slot = [0u8; INODE_SIZE];
+        ino.encode(&mut slot);
+        assert_eq!(Inode::decode(&slot), Some(ino));
+    }
+
+    #[test]
+    fn zeroed_slot_is_free() {
+        assert_eq!(Inode::decode(&[0u8; INODE_SIZE]), None);
+    }
+
+    #[test]
+    fn zone_path_partitions_the_index_space() {
+        let ppb = 1024;
+        assert_eq!(zone_path(0, ppb).unwrap(), ZonePath::Direct(0));
+        assert_eq!(zone_path(6, ppb).unwrap(), ZonePath::Direct(6));
+        assert_eq!(zone_path(7, ppb).unwrap(), ZonePath::Indirect(0));
+        assert_eq!(zone_path(7 + 1023, ppb).unwrap(), ZonePath::Indirect(1023));
+        assert_eq!(zone_path(7 + 1024, ppb).unwrap(), ZonePath::Double(0, 0));
+        assert_eq!(
+            zone_path(7 + 1024 + 1024 * 5 + 3, ppb).unwrap(),
+            ZonePath::Double(5, 3)
+        );
+        let max = 7 + 1024 + 1024 * 1024;
+        assert!(zone_path(max as u64, ppb).is_err());
+    }
+
+    #[test]
+    fn max_file_size_covers_the_benchmarks() {
+        // 80 MB (Table 5) needs 20480 4-KB blocks — comfortably inside the
+        // direct + indirect range.
+        assert!(matches!(
+            zone_path(20_480, 1024),
+            Ok(ZonePath::Double(_, _))
+        ));
+    }
+}

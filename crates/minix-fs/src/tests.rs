@@ -1,0 +1,516 @@
+//! File-system tests, run over both stores wherever the behaviour should
+//! be identical — the backend swap is the paper's whole point.
+
+use simdisk::{MemDisk, SimDisk};
+
+use crate::{
+    AllocHint, BlockStore, FileType, FsConfig, FsError, InodeMode, LdStore, ListMode, MinixFs,
+    RawStore, ROOT_INO,
+};
+
+fn raw_fs() -> MinixFs<RawStore<MemDisk>> {
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    MinixFs::format(store, FsConfig::small_for_tests()).unwrap()
+}
+
+fn ld_fs() -> MinixFs<LdStore<MemDisk>> {
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    MinixFs::format(store, FsConfig::small_for_tests()).unwrap()
+}
+
+fn pattern(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(13) ^ seed)
+        .collect()
+}
+
+/// Runs a scenario against both backends.
+fn on_both(f: impl Fn(&mut dyn FsOps)) {
+    let mut raw = raw_fs();
+    f(&mut raw);
+    let mut ld = ld_fs();
+    f(&mut ld);
+}
+
+/// Object-safe subset for running the same scenario over both stores.
+trait FsOps {
+    fn create(&mut self, path: &str) -> crate::Result<u32>;
+    fn rename(&mut self, from: &str, to: &str) -> crate::Result<()>;
+    fn mkdir(&mut self, path: &str) -> crate::Result<u32>;
+    fn write(&mut self, ino: u32, offset: u64, data: &[u8]) -> crate::Result<()>;
+    fn read(&mut self, ino: u32, offset: u64, buf: &mut [u8]) -> crate::Result<usize>;
+    fn unlink(&mut self, path: &str) -> crate::Result<()>;
+    fn rmdir(&mut self, path: &str) -> crate::Result<()>;
+    fn lookup(&mut self, path: &str) -> crate::Result<u32>;
+    fn readdir(&mut self, path: &str) -> crate::Result<Vec<fsutil::dirent::Dirent>>;
+    fn stat(&mut self, ino: u32) -> crate::Result<crate::Stat>;
+    fn truncate(&mut self, ino: u32) -> crate::Result<()>;
+    fn sync(&mut self) -> crate::Result<()>;
+    fn drop_caches(&mut self) -> crate::Result<()>;
+}
+
+impl<S: BlockStore> FsOps for MinixFs<S> {
+    fn create(&mut self, path: &str) -> crate::Result<u32> {
+        MinixFs::create(self, path)
+    }
+    fn rename(&mut self, from: &str, to: &str) -> crate::Result<()> {
+        MinixFs::rename(self, from, to)
+    }
+    fn mkdir(&mut self, path: &str) -> crate::Result<u32> {
+        MinixFs::mkdir(self, path)
+    }
+    fn write(&mut self, ino: u32, offset: u64, data: &[u8]) -> crate::Result<()> {
+        MinixFs::write(self, ino, offset, data)
+    }
+    fn read(&mut self, ino: u32, offset: u64, buf: &mut [u8]) -> crate::Result<usize> {
+        MinixFs::read(self, ino, offset, buf)
+    }
+    fn unlink(&mut self, path: &str) -> crate::Result<()> {
+        MinixFs::unlink(self, path)
+    }
+    fn rmdir(&mut self, path: &str) -> crate::Result<()> {
+        MinixFs::rmdir(self, path)
+    }
+    fn lookup(&mut self, path: &str) -> crate::Result<u32> {
+        MinixFs::lookup(self, path)
+    }
+    fn readdir(&mut self, path: &str) -> crate::Result<Vec<fsutil::dirent::Dirent>> {
+        MinixFs::readdir(self, path)
+    }
+    fn stat(&mut self, ino: u32) -> crate::Result<crate::Stat> {
+        MinixFs::stat(self, ino)
+    }
+    fn truncate(&mut self, ino: u32) -> crate::Result<()> {
+        MinixFs::truncate(self, ino)
+    }
+    fn sync(&mut self) -> crate::Result<()> {
+        MinixFs::sync(self)
+    }
+    fn drop_caches(&mut self) -> crate::Result<()> {
+        MinixFs::drop_caches(self)
+    }
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    on_both(|fs| {
+        let ino = fs.create("/hello.txt").unwrap();
+        let data = pattern(10_000, 3);
+        fs.write(ino, 0, &data).unwrap();
+        let mut buf = vec![0u8; 10_000];
+        assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 10_000);
+        assert_eq!(buf, data);
+        // Partial read at an unaligned offset.
+        let mut buf = vec![0u8; 100];
+        assert_eq!(fs.read(ino, 4090, &mut buf).unwrap(), 100);
+        assert_eq!(buf, data[4090..4190]);
+        // Read past EOF.
+        assert_eq!(fs.read(ino, 10_000, &mut buf).unwrap(), 0);
+        assert_eq!(fs.read(ino, 9_990, &mut buf).unwrap(), 10);
+    });
+}
+
+#[test]
+fn directories_nest_and_list() {
+    on_both(|fs| {
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        let f = fs.create("/a/b/file").unwrap();
+        assert_eq!(fs.lookup("/a/b/file").unwrap(), f);
+        let names: Vec<String> = fs
+            .readdir("/a/b")
+            .unwrap()
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(names, vec![".", "..", "file"]);
+        assert_eq!(fs.lookup("/a/missing"), Err(FsError::NotFound));
+        assert_eq!(fs.create("/a/b/file"), Err(FsError::Exists));
+        assert_eq!(fs.lookup("/a/b/file/x"), Err(FsError::NotDir));
+    });
+}
+
+#[test]
+fn unlink_frees_and_name_disappears() {
+    on_both(|fs| {
+        let ino = fs.create("/f").unwrap();
+        fs.write(ino, 0, &pattern(50_000, 1)).unwrap();
+        fs.unlink("/f").unwrap();
+        assert_eq!(fs.lookup("/f"), Err(FsError::NotFound));
+        // The i-node number is recycled.
+        let ino2 = fs.create("/g").unwrap();
+        assert_eq!(ino2, ino);
+        let mut buf = vec![0u8; 16];
+        assert_eq!(fs.read(ino2, 0, &mut buf).unwrap(), 0, "new file is empty");
+    });
+}
+
+#[test]
+fn rmdir_requires_empty() {
+    on_both(|fs| {
+        fs.mkdir("/d").unwrap();
+        fs.create("/d/x").unwrap();
+        assert_eq!(fs.rmdir("/d"), Err(FsError::NotEmpty));
+        fs.unlink("/d/x").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert_eq!(fs.lookup("/d"), Err(FsError::NotFound));
+        assert_eq!(fs.unlink("/nope"), Err(FsError::NotFound));
+    });
+}
+
+#[test]
+fn overwrite_in_place_preserves_rest() {
+    on_both(|fs| {
+        let ino = fs.create("/f").unwrap();
+        let data = pattern(20_000, 7);
+        fs.write(ino, 0, &data).unwrap();
+        fs.write(ino, 5_000, &[0xAAu8; 100]).unwrap();
+        let mut buf = vec![0u8; 20_000];
+        fs.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..5_000], &data[..5_000]);
+        assert!(buf[5_000..5_100].iter().all(|&b| b == 0xAA));
+        assert_eq!(&buf[5_100..], &data[5_100..]);
+        assert_eq!(fs.stat(ino).unwrap().size, 20_000);
+    });
+}
+
+#[test]
+fn large_file_through_indirect_blocks() {
+    on_both(|fs| {
+        let ino = fs.create("/big").unwrap();
+        // 7 direct blocks = 28 KB; write 300 KB to exercise the indirect
+        // block (and stay clear of double-indirect for speed).
+        let chunk = pattern(8192, 9);
+        for i in 0..38u64 {
+            fs.write(ino, i * 8192, &chunk).unwrap();
+        }
+        fs.drop_caches().unwrap();
+        let mut buf = vec![0u8; 8192];
+        for i in [0u64, 3, 17, 37] {
+            assert_eq!(fs.read(ino, i * 8192, &mut buf).unwrap(), 8192);
+            assert_eq!(buf, chunk, "chunk {i}");
+        }
+        fs.truncate(ino).unwrap();
+        assert_eq!(fs.stat(ino).unwrap().size, 0);
+        // Space actually came back: write again.
+        fs.write(ino, 0, &chunk).unwrap();
+    });
+}
+
+#[test]
+fn double_indirect_blocks_work() {
+    // 7 + 1024 blocks = ~4.1 MB before the double-indirect range.
+    let store = RawStore::format(MemDisk::with_capacity(64 << 20)).unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/huge").unwrap();
+    let bs = 4096u64;
+    let boundary = (7 + 1024) * bs;
+    let data = pattern(4096, 4);
+    fs.write(ino, boundary + 5 * bs, &data).unwrap();
+    fs.drop_caches().unwrap();
+    let mut buf = vec![0u8; 4096];
+    assert_eq!(fs.read(ino, boundary + 5 * bs, &mut buf).unwrap(), 4096);
+    assert_eq!(buf, data);
+    // The hole before reads as zeroes.
+    fs.read(ino, boundary, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 0));
+}
+
+#[test]
+fn sync_persists_across_remount_raw() {
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/persist").unwrap();
+    let data = pattern(12_345, 5);
+    fs.write(ino, 0, &data).unwrap();
+    fs.mkdir("/dir").unwrap();
+    fs.sync().unwrap();
+
+    let disk = fs.into_store().into_disk();
+    let store = RawStore::mount(disk).unwrap();
+    let mut fs = MinixFs::mount(store, FsConfig::small_for_tests()).unwrap();
+    let ino2 = fs.lookup("/persist").unwrap();
+    assert_eq!(ino2, ino);
+    let mut buf = vec![0u8; 12_345];
+    assert_eq!(fs.read(ino2, 0, &mut buf).unwrap(), 12_345);
+    assert_eq!(buf, data);
+    assert!(fs.lookup("/dir").is_ok());
+    // The i-node bitmap survived: allocating gives a fresh i-node.
+    let f2 = fs.create("/another").unwrap();
+    assert_ne!(f2, ino);
+}
+
+#[test]
+fn sync_persists_across_crash_ld() {
+    // The headline property: MINIX over LLD is crash-consistent up to the
+    // last sync, with zero fsck-style repair.
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/persist").unwrap();
+    let data = pattern(30_000, 6);
+    fs.write(ino, 0, &data).unwrap();
+    fs.sync().unwrap();
+    // Post-sync activity that must vanish.
+    let doomed = fs.create("/doomed").unwrap();
+    fs.write(doomed, 0, &pattern(5_000, 7)).unwrap();
+
+    let disk = fs.into_store().into_disk(); // Crash: drop all memory state.
+    let store = LdStore::mount(disk, lld::LldConfig::small_for_tests()).unwrap();
+    let mut fs = MinixFs::mount(store, FsConfig::small_for_tests()).unwrap();
+    let ino2 = fs.lookup("/persist").unwrap();
+    assert_eq!(ino2, ino);
+    let mut buf = vec![0u8; 30_000];
+    assert_eq!(fs.read(ino2, 0, &mut buf).unwrap(), 30_000);
+    assert_eq!(buf, data);
+    assert_eq!(fs.lookup("/doomed"), Err(FsError::NotFound));
+}
+
+#[test]
+fn many_files_in_one_directory() {
+    // A miniature of the paper's small-file benchmark shape.
+    on_both(|fs| {
+        let data = pattern(1024, 2);
+        for i in 0..200 {
+            let ino = fs.create(&format!("/f{i:04}")).unwrap();
+            fs.write(ino, 0, &data).unwrap();
+        }
+        fs.sync().unwrap();
+        fs.drop_caches().unwrap();
+        for i in 0..200 {
+            let ino = fs.lookup(&format!("/f{i:04}")).unwrap();
+            let mut buf = vec![0u8; 1024];
+            assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 1024);
+            assert_eq!(buf, data, "file {i}");
+        }
+        for i in 0..200 {
+            fs.unlink(&format!("/f{i:04}")).unwrap();
+        }
+        assert_eq!(fs.readdir("/").unwrap().len(), 2, "only . and .. remain");
+    });
+}
+
+#[test]
+fn per_file_lists_cluster_on_ld() {
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    let config = FsConfig {
+        list_mode: ListMode::PerFile,
+        ..FsConfig::small_for_tests()
+    };
+    let mut fs = MinixFs::format(store, config).unwrap();
+    let a = fs.create("/a").unwrap();
+    let b = fs.create("/b").unwrap();
+    fs.write(a, 0, &pattern(8192, 1)).unwrap();
+    fs.write(b, 0, &pattern(8192, 2)).unwrap();
+    // Each file's group is a distinct LD list.
+    let ga = fs.read_inode(a).unwrap().group;
+    let gb = fs.read_inode(b).unwrap().group;
+    assert_ne!(ga, 0);
+    assert_ne!(gb, 0);
+    assert_ne!(ga, gb);
+    // Unlink deletes the whole list in one call.
+    fs.unlink("/a").unwrap();
+    let mut buf = vec![0u8; 8192];
+    let ino_b = fs.lookup("/b").unwrap();
+    assert_eq!(fs.read(ino_b, 0, &mut buf).unwrap(), 8192);
+}
+
+#[test]
+fn single_list_mode_uses_shared_group() {
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    let config = FsConfig {
+        list_mode: ListMode::SingleList,
+        ..FsConfig::small_for_tests()
+    };
+    let mut fs = MinixFs::format(store, config).unwrap();
+    let a = fs.create("/a").unwrap();
+    fs.write(a, 0, &pattern(4096, 1)).unwrap();
+    assert_eq!(fs.read_inode(a).unwrap().group, 0);
+    fs.unlink("/a").unwrap();
+}
+
+#[test]
+fn small_inode_blocks_on_ld() {
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    let config = FsConfig {
+        inode_mode: InodeMode::SmallBlocks,
+        ..FsConfig::small_for_tests()
+    };
+    let mut fs = MinixFs::format(store, config).unwrap();
+    let ino = fs.create("/x").unwrap();
+    fs.write(ino, 0, &pattern(5000, 8)).unwrap();
+    fs.sync().unwrap();
+    // Remount and verify i-nodes survive in their small blocks.
+    let disk = fs.into_store().into_disk();
+    let store = LdStore::mount(disk, lld::LldConfig::small_for_tests()).unwrap();
+    let mut fs = MinixFs::mount(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.lookup("/x").unwrap();
+    assert_eq!(fs.stat(ino).unwrap().size, 5000);
+    fs.unlink("/x").unwrap();
+    assert_eq!(fs.lookup("/x"), Err(FsError::NotFound));
+
+    // The raw store rejects this mode.
+    let raw = RawStore::format(MemDisk::with_capacity(8 << 20)).unwrap();
+    let config = FsConfig {
+        inode_mode: InodeMode::SmallBlocks,
+        ..FsConfig::small_for_tests()
+    };
+    assert!(MinixFs::format(raw, config).is_err());
+}
+
+#[test]
+fn readahead_only_on_raw_store() {
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/seq").unwrap();
+    fs.write(ino, 0, &pattern(64 << 10, 1)).unwrap();
+    fs.drop_caches().unwrap();
+    let mut buf = vec![0u8; 4096];
+    fs.read(ino, 0, &mut buf).unwrap();
+    assert!(fs.stats().readahead_blocks > 0, "raw store prefetches");
+
+    let store = LdStore::format(
+        MemDisk::with_capacity(16 << 20),
+        lld::LldConfig::small_for_tests(),
+    )
+    .unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/seq").unwrap();
+    fs.write(ino, 0, &pattern(64 << 10, 1)).unwrap();
+    fs.drop_caches().unwrap();
+    fs.read(ino, 0, &mut buf).unwrap();
+    assert_eq!(
+        fs.stats().readahead_blocks,
+        0,
+        "read-ahead is disabled over LD (§4.1)"
+    );
+}
+
+#[test]
+fn out_of_inodes_is_reported() {
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    let config = FsConfig {
+        ninodes: 4,
+        ..FsConfig::small_for_tests()
+    };
+    let mut fs = MinixFs::format(store, config).unwrap();
+    // Root consumed one; three left.
+    fs.create("/a").unwrap();
+    fs.create("/b").unwrap();
+    fs.create("/c").unwrap();
+    assert_eq!(fs.create("/d"), Err(FsError::NoInodes));
+    fs.unlink("/b").unwrap();
+    assert!(fs.create("/d").is_ok());
+}
+
+#[test]
+fn cache_eviction_pressure_is_correct() {
+    // A cache far smaller than the working set still yields correct data.
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    let config = FsConfig {
+        cache_bytes: 16 << 10, // Four blocks.
+        ..FsConfig::small_for_tests()
+    };
+    let mut fs = MinixFs::format(store, config).unwrap();
+    let ino = fs.create("/f").unwrap();
+    let data = pattern(128 << 10, 3);
+    fs.write(ino, 0, &data).unwrap();
+    let mut buf = vec![0u8; 128 << 10];
+    fs.read(ino, 0, &mut buf).unwrap();
+    assert_eq!(buf, data);
+}
+
+#[test]
+fn simdisk_backend_smoke() {
+    // Everything also runs over the timed simulator (the benchmarks do).
+    let store = RawStore::format(SimDisk::hp_c3010_with_capacity(16 << 20)).unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let t0 = fs.now_us();
+    let ino = fs.create("/timed").unwrap();
+    fs.write(ino, 0, &pattern(32 << 10, 1)).unwrap();
+    fs.sync().unwrap();
+    assert!(fs.now_us() > t0, "simulated time advanced");
+}
+
+#[test]
+fn root_is_a_directory() {
+    on_both(|fs| {
+        let st = fs.stat(ROOT_INO).unwrap();
+        assert_eq!(st.ftype, FileType::Dir);
+        assert_eq!(fs.lookup("/").unwrap(), ROOT_INO);
+    });
+}
+
+#[test]
+fn store_hint_plumbing_allocates_contiguously_on_raw() {
+    // White-box: sequential writes through the FS allocate consecutive
+    // blocks on the raw store (MINIX's locality policy), which is what
+    // makes its sequential reads competitive in Table 5.
+    let store = RawStore::format(MemDisk::with_capacity(16 << 20)).unwrap();
+    let mut fs = MinixFs::format(store, FsConfig::small_for_tests()).unwrap();
+    let ino = fs.create("/f").unwrap();
+    fs.write(ino, 0, &pattern(28 << 10, 1)).unwrap(); // 7 direct blocks.
+    let inode = fs.read_inode(ino).unwrap();
+    let zones: Vec<_> = inode.zones[..7].to_vec();
+    for w in zones.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "zones not contiguous: {zones:?}");
+    }
+    let _ = AllocHint::default(); // Silence unused-import lint in some cfgs.
+}
+
+#[test]
+fn rename_moves_files_and_directories() {
+    on_both(|fs| {
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/b").unwrap();
+        let ino = fs.create("/a/file").unwrap();
+        fs.write(ino, 0, &pattern(5000, 1)).unwrap();
+
+        fs.rename("/a/file", "/b/renamed").unwrap();
+        assert_eq!(fs.lookup("/a/file"), Err(FsError::NotFound));
+        let moved = fs.lookup("/b/renamed").unwrap();
+        assert_eq!(moved, ino, "rename keeps the i-node");
+        let mut buf = vec![0u8; 5000];
+        assert_eq!(fs.read(moved, 0, &mut buf).unwrap(), 5000);
+        assert_eq!(buf, pattern(5000, 1));
+
+        // Destination collision is refused.
+        fs.create("/b/taken").unwrap();
+        assert_eq!(fs.rename("/b/renamed", "/b/taken"), Err(FsError::Exists));
+
+        // Moving a directory updates "..".
+        fs.mkdir("/a/sub").unwrap();
+        fs.create("/a/sub/x").unwrap();
+        fs.rename("/a/sub", "/b/sub").unwrap();
+        assert!(fs.lookup("/b/sub/x").is_ok());
+        let dotdot: Vec<_> = fs
+            .readdir("/b/sub")
+            .unwrap()
+            .into_iter()
+            .filter(|d| d.name == "..")
+            .collect();
+        assert_eq!(dotdot.len(), 1);
+
+        // A directory cannot be moved into itself.
+        assert!(fs.rename("/b", "/b/sub/loop").is_err());
+    });
+}

@@ -1,0 +1,190 @@
+//! Disk geometry: cylinders, heads, sectors per track, and CHS mapping.
+
+/// Size of one disk sector in bytes.
+///
+/// All transfers to and from the simulated disk are in whole sectors.
+pub const SECTOR_SIZE: usize = 512;
+
+/// Physical geometry of a simulated disk.
+///
+/// Logical sector numbers are mapped onto (cylinder, head, sector) triples in
+/// the conventional order: sectors within a track, then tracks within a
+/// cylinder, then cylinders. The timing model uses the mapping to decide when
+/// a transfer crosses a track or cylinder boundary and how far a seek moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of cylinders (seek positions).
+    pub cylinders: u32,
+    /// Number of heads, i.e. tracks per cylinder.
+    pub heads: u32,
+    /// Number of sectors in one track.
+    pub sectors_per_track: u32,
+}
+
+/// A decomposed physical position on the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chs {
+    /// Cylinder index, `0..cylinders`.
+    pub cylinder: u32,
+    /// Head (track-within-cylinder) index, `0..heads`.
+    pub head: u32,
+    /// Sector index within the track, `0..sectors_per_track`.
+    pub sector: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry and validates that no dimension is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; a zero-sized disk is always a
+    /// configuration bug, never a runtime condition.
+    pub fn new(cylinders: u32, heads: u32, sectors_per_track: u32) -> Self {
+        assert!(
+            cylinders > 0 && heads > 0 && sectors_per_track > 0,
+            "disk geometry dimensions must be non-zero"
+        );
+        Self {
+            cylinders,
+            heads,
+            sectors_per_track,
+        }
+    }
+
+    /// Returns the smallest geometry with the given track shape whose
+    /// capacity is at least `bytes`.
+    ///
+    /// Used by tests and benchmarks to build a disk "of roughly N megabytes"
+    /// without hand-computing cylinder counts.
+    pub fn with_capacity(bytes: u64, heads: u32, sectors_per_track: u32) -> Self {
+        let per_cyl = u64::from(heads) * u64::from(sectors_per_track) * SECTOR_SIZE as u64;
+        let cylinders = bytes.div_ceil(per_cyl).max(1);
+        Self::new(
+            u32::try_from(cylinders).expect("capacity requires too many cylinders"),
+            heads,
+            sectors_per_track,
+        )
+    }
+
+    /// Total number of addressable sectors.
+    pub fn total_sectors(&self) -> u64 {
+        u64::from(self.cylinders) * self.sectors_per_cylinder()
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_sectors() * SECTOR_SIZE as u64
+    }
+
+    /// Number of sectors in one cylinder.
+    pub fn sectors_per_cylinder(&self) -> u64 {
+        u64::from(self.heads) * u64::from(self.sectors_per_track)
+    }
+
+    /// Maps a logical sector number to its physical position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector` is beyond the end of the disk; callers are expected
+    /// to have validated the range (the device front-end does).
+    pub fn chs(&self, sector: u64) -> Chs {
+        assert!(
+            sector < self.total_sectors(),
+            "sector {sector} out of range (disk has {} sectors)",
+            self.total_sectors()
+        );
+        let per_cyl = self.sectors_per_cylinder();
+        let spt = u64::from(self.sectors_per_track);
+        let cylinder = (sector / per_cyl) as u32;
+        let within = sector % per_cyl;
+        Chs {
+            cylinder,
+            head: (within / spt) as u32,
+            sector: (within % spt) as u32,
+        }
+    }
+
+    /// Returns the cylinder that holds `sector`.
+    pub fn cylinder_of(&self, sector: u64) -> u32 {
+        self.chs(sector).cylinder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chs_roundtrip_covers_all_dimensions() {
+        let g = Geometry::new(4, 3, 5);
+        assert_eq!(g.total_sectors(), 60);
+        let mut seen = Vec::new();
+        for s in 0..g.total_sectors() {
+            let chs = g.chs(s);
+            assert!(chs.cylinder < 4 && chs.head < 3 && chs.sector < 5);
+            seen.push((chs.cylinder, chs.head, chs.sector));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 60, "CHS mapping must be a bijection");
+    }
+
+    #[test]
+    fn chs_orders_sectors_then_tracks_then_cylinders() {
+        let g = Geometry::new(2, 2, 4);
+        assert_eq!(
+            g.chs(0),
+            Chs {
+                cylinder: 0,
+                head: 0,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.chs(3),
+            Chs {
+                cylinder: 0,
+                head: 0,
+                sector: 3
+            }
+        );
+        assert_eq!(
+            g.chs(4),
+            Chs {
+                cylinder: 0,
+                head: 1,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            g.chs(8),
+            Chs {
+                cylinder: 1,
+                head: 0,
+                sector: 0
+            }
+        );
+    }
+
+    #[test]
+    fn with_capacity_rounds_up_to_whole_cylinders() {
+        let g = Geometry::with_capacity(1, 2, 4);
+        assert_eq!(g.cylinders, 1);
+        let g = Geometry::with_capacity(400 << 20, 19, 60);
+        assert!(g.capacity_bytes() >= 400 << 20);
+        assert!(g.capacity_bytes() - (400 << 20) < g.sectors_per_cylinder() * SECTOR_SIZE as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chs_rejects_out_of_range_sector() {
+        let g = Geometry::new(1, 1, 4);
+        let _ = g.chs(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_rejected() {
+        let _ = Geometry::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Operation and timing statistics for a simulated disk.
+
+/// Counters accumulated by a [`crate::SimDisk`].
+///
+/// The time fields decompose where simulated disk time went, which the
+/// benchmark harness uses to attribute costs (seek-bound vs transfer-bound
+/// workloads) when regenerating the paper's tables.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of read requests.
+    pub read_ops: u64,
+    /// Read requests served entirely from the drive's read-ahead buffer.
+    pub cached_reads: u64,
+    /// Number of write requests.
+    pub write_ops: u64,
+    /// Sectors read.
+    pub sectors_read: u64,
+    /// Sectors written.
+    pub sectors_written: u64,
+    /// Non-null seeks performed.
+    pub seeks: u64,
+    /// Time spent seeking, microseconds.
+    pub seek_us: u64,
+    /// Time spent waiting for rotation, microseconds.
+    pub rotation_us: u64,
+    /// Time spent transferring data, microseconds.
+    pub transfer_us: u64,
+    /// Time spent on head/cylinder switches during transfers, microseconds.
+    pub switch_us: u64,
+    /// Per-command host and controller overhead, microseconds.
+    pub overhead_us: u64,
+}
+
+impl DiskStats {
+    /// Total time the disk spent servicing requests, microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.seek_us + self.rotation_us + self.transfer_us + self.switch_us + self.overhead_us
+    }
+
+    /// Total bytes transferred in either direction.
+    pub fn bytes_transferred(&self) -> u64 {
+        (self.sectors_read + self.sectors_written) * crate::geometry::SECTOR_SIZE as u64
+    }
+
+    /// Returns `self - earlier`, for measuring a benchmark phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually an earlier snapshot of the same
+    /// counter set (any field would underflow).
+    pub fn delta_since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            read_ops: self.read_ops - earlier.read_ops,
+            cached_reads: self.cached_reads - earlier.cached_reads,
+            write_ops: self.write_ops - earlier.write_ops,
+            sectors_read: self.sectors_read - earlier.sectors_read,
+            sectors_written: self.sectors_written - earlier.sectors_written,
+            seeks: self.seeks - earlier.seeks,
+            seek_us: self.seek_us - earlier.seek_us,
+            rotation_us: self.rotation_us - earlier.rotation_us,
+            transfer_us: self.transfer_us - earlier.transfer_us,
+            switch_us: self.switch_us - earlier.switch_us,
+            overhead_us: self.overhead_us - earlier.overhead_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_sums_components() {
+        let s = DiskStats {
+            seek_us: 10,
+            rotation_us: 20,
+            transfer_us: 30,
+            switch_us: 5,
+            overhead_us: 7,
+            ..DiskStats::default()
+        };
+        assert_eq!(s.busy_us(), 72);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = DiskStats {
+            read_ops: 3,
+            sectors_read: 24,
+            seek_us: 100,
+            ..DiskStats::default()
+        };
+        let b = DiskStats {
+            read_ops: 5,
+            sectors_read: 40,
+            seek_us: 180,
+            ..DiskStats::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.read_ops, 2);
+        assert_eq!(d.sectors_read, 16);
+        assert_eq!(d.seek_us, 80);
+    }
+}

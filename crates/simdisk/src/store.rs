@@ -1,0 +1,122 @@
+//! Sparse in-memory sector store.
+//!
+//! A simulated disk can be multiple gigabytes; most experiments touch a small
+//! fraction of it. Sectors are stored in lazily allocated fixed-size pages so
+//! memory scales with the touched footprint, not the disk capacity.
+//! Unwritten sectors read back as zeroes, like a freshly formatted drive.
+
+use crate::geometry::SECTOR_SIZE;
+
+/// Sectors per page: 128 sectors = 64 KiB pages.
+const SECTORS_PER_PAGE: u64 = 128;
+const PAGE_BYTES: usize = SECTORS_PER_PAGE as usize * SECTOR_SIZE;
+
+/// Lazily allocated sector array.
+#[derive(Debug)]
+pub struct SparseStore {
+    pages: Vec<Option<Box<[u8]>>>,
+    total_sectors: u64,
+}
+
+impl SparseStore {
+    /// Creates a store for `total_sectors` sectors, initially all zero.
+    pub fn new(total_sectors: u64) -> Self {
+        let npages = total_sectors.div_ceil(SECTORS_PER_PAGE) as usize;
+        Self {
+            pages: (0..npages).map(|_| None).collect(),
+            total_sectors,
+        }
+    }
+
+    /// Number of addressable sectors.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Bytes of memory currently committed to page storage.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count() * PAGE_BYTES
+    }
+
+    /// Reads one sector into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector` is out of range or `buf` is not exactly one sector;
+    /// the device front-end validates user-facing ranges before calling.
+    pub fn read_sector(&self, sector: u64, buf: &mut [u8]) {
+        assert!(sector < self.total_sectors, "sector {sector} out of range");
+        assert_eq!(buf.len(), SECTOR_SIZE);
+        let (page, offset) = Self::locate(sector);
+        match &self.pages[page] {
+            Some(data) => buf.copy_from_slice(&data[offset..offset + SECTOR_SIZE]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Writes one sector from `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sector` is out of range or `data` is not exactly one sector.
+    pub fn write_sector(&mut self, sector: u64, data: &[u8]) {
+        assert!(sector < self.total_sectors, "sector {sector} out of range");
+        assert_eq!(data.len(), SECTOR_SIZE);
+        let (page, offset) = Self::locate(sector);
+        let page = self.pages[page].get_or_insert_with(|| vec![0u8; PAGE_BYTES].into_boxed_slice());
+        page[offset..offset + SECTOR_SIZE].copy_from_slice(data);
+    }
+
+    fn locate(sector: u64) -> (usize, usize) {
+        let page = (sector / SECTORS_PER_PAGE) as usize;
+        let offset = (sector % SECTORS_PER_PAGE) as usize * SECTOR_SIZE;
+        (page, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_sectors_read_zero() {
+        let store = SparseStore::new(1000);
+        let mut buf = [0xAAu8; SECTOR_SIZE];
+        store.read_sector(999, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(store.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut store = SparseStore::new(10_000);
+        let mut data = [0u8; SECTOR_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        store.write_sector(4242, &data);
+        let mut buf = [0u8; SECTOR_SIZE];
+        store.read_sector(4242, &mut buf);
+        assert_eq!(buf, data);
+        // Neighbouring sector in the same page is untouched.
+        store.read_sector(4243, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn memory_scales_with_touched_pages_not_capacity() {
+        // 1 GiB disk, touch two far-apart sectors: two pages resident.
+        let mut store = SparseStore::new((1 << 30) / SECTOR_SIZE as u64);
+        let data = [1u8; SECTOR_SIZE];
+        store.write_sector(0, &data);
+        store.write_sector(store.total_sectors() - 1, &data);
+        assert_eq!(store.resident_bytes(), 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let mut store = SparseStore::new(8);
+        store.write_sector(8, &[0u8; SECTOR_SIZE]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the Sprite-LFS comparator.
+
+/// Errors returned by [`crate::SpriteLfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LfsError {
+    /// Unknown file name or i-node.
+    NotFound,
+    /// File name already exists.
+    Exists,
+    /// Out of segments.
+    NoSpace,
+    /// Out of i-nodes.
+    NoInodes,
+    /// File block index beyond the double-indirect range.
+    TooBig,
+    /// Device failure.
+    Io(String),
+    /// No valid checkpoint found at recovery.
+    BadCheckpoint,
+}
+
+impl std::fmt::Display for LfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LfsError::NotFound => write!(f, "not found"),
+            LfsError::Exists => write!(f, "file exists"),
+            LfsError::NoSpace => write!(f, "no free segments"),
+            LfsError::NoInodes => write!(f, "no free i-nodes"),
+            LfsError::TooBig => write!(f, "file too big"),
+            LfsError::Io(m) => write!(f, "I/O error: {m}"),
+            LfsError::BadCheckpoint => write!(f, "no valid checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for LfsError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LfsError>;

@@ -1,0 +1,85 @@
+//! Transparent per-list compression (paper §3.3).
+//!
+//! Writes the same file through MINIX LLD with and without the compression
+//! hint and reports throughput, the on-medium ratio, and the extra
+//! effective capacity — "using LLD, a file system can transparently use
+//! compression to make more effective use of disk space".
+//!
+//! Run with: `cargo run --release --example compression_demo`
+
+use minix_fs::{FsConfig, LdStore, MinixFs};
+use simdisk::SimDisk;
+
+fn data(len: usize) -> Vec<u8> {
+    // Textual key=value content with some binary fields — compresses to
+    // roughly the paper's assumed 60 %.
+    let words = ["segment", "cleaner", "logical", "disk", "buffer", "cache"];
+    let mut out = Vec::with_capacity(len + 64);
+    let mut x = 0x243F6A8885A308D3u64;
+    while out.len() < len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(words[(x >> 33) as usize % words.len()].as_bytes());
+        out.push(b'=');
+        out.extend_from_slice(((x >> 40) as u32).to_string().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(&x.to_le_bytes());
+        out.push(b'\n');
+    }
+    out.truncate(len);
+    out
+}
+
+fn run(compress: bool) -> (f64, f64, f64) {
+    let disk = SimDisk::hp_c3010_with_capacity(96 << 20);
+    let store = if compress {
+        LdStore::format_compressed(disk, lld::LldConfig::default())
+    } else {
+        LdStore::format(disk, lld::LldConfig::default())
+    }
+    .expect("format");
+    let mut fs = MinixFs::format(store, FsConfig::default()).expect("mkfs");
+
+    let file_bytes = 24u64 << 20;
+    let chunk = data(8192);
+    let ino = fs.create("/big").expect("create");
+    let t0 = fs.now_us();
+    for i in 0..(file_bytes / 8192) {
+        fs.write(ino, i * 8192, &chunk).expect("write");
+    }
+    fs.sync().expect("sync");
+    let write_kbs = (file_bytes as f64 / 1024.0) / ((fs.now_us() - t0) as f64 / 1e6);
+
+    fs.drop_caches().expect("drop caches");
+    let mut buf = vec![0u8; 8192];
+    let t0 = fs.now_us();
+    for i in 0..(file_bytes / 8192) {
+        fs.read(ino, i * 8192, &mut buf).expect("read");
+    }
+    let read_kbs = (file_bytes as f64 / 1024.0) / ((fs.now_us() - t0) as f64 / 1e6);
+
+    let s = fs.store().lld().stats();
+    let ratio = s.stored_bytes_written as f64 / s.user_bytes_written.max(1) as f64;
+    (write_kbs, read_kbs, ratio)
+}
+
+fn main() {
+    let (w0, r0, _) = run(false);
+    let (w1, r1, ratio) = run(true);
+    println!("24 MB sequential file through MINIX LLD:\n");
+    println!("  without compression:  write {w0:>6.0} KB/s   read {r0:>6.0} KB/s");
+    println!("  with compression:     write {w1:>6.0} KB/s   read {r1:>6.0} KB/s");
+    println!("\n  on-medium ratio: {:.0}% of original", ratio * 100.0);
+    println!(
+        "  effective extra capacity: {:.0}% more storage for this data",
+        (1.0 / ratio - 1.0) * 100.0
+    );
+    println!(
+        "\n  (paper §4.2: writes stay within ~21% of the uncompressed rate because\n  \
+         compression overlaps the previous segment's disk write; reads pay the\n  \
+         full serialized decompression — measured {:.0}% and read {:.2}x slower)",
+        (1.0 - w1 / w0) * 100.0,
+        r0 / r1
+    );
+}

@@ -1,0 +1,89 @@
+//! Quickstart: the Logical Disk interface in five minutes.
+//!
+//! Creates a log-structured Logical Disk (LLD) on a simulated HP C3010,
+//! then walks through the four abstractions of the paper: logical block
+//! numbers, block lists, atomic recovery units, and multiple block sizes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ld_core::{FailureSet, ListHints, LogicalDisk, Pred, PredList};
+use lld::{Lld, LldConfig};
+use simdisk::SimDisk;
+
+fn main() {
+    // A 64 MB partition of the paper's disk, formatted as an LLD with the
+    // paper's configuration (0.5 MB segments, 4 KB blocks).
+    let disk = SimDisk::hp_c3010_with_capacity(64 << 20);
+    let mut ld = Lld::format(disk, LldConfig::default()).expect("format");
+    println!(
+        "formatted: {} segments of {} KB, {} MB payload capacity",
+        ld.layout().segments,
+        ld.layout().segment_bytes >> 10,
+        ld.capacity_bytes() >> 20,
+    );
+
+    // 1. Block lists express logical relationships; LD clusters them.
+    let file_a = ld
+        .new_list(PredList::Start, ListHints::default())
+        .expect("new list");
+    // 2. Logical block numbers: LD picks physical locations, we never see
+    //    them — and they can change (cleaning, reorganization) without any
+    //    metadata cascade on our side.
+    let b0 = ld.new_block(file_a, Pred::Start).expect("alloc");
+    let b1 = ld.new_block(file_a, Pred::After(b0)).expect("alloc");
+    ld.write(b0, b"hello, ").expect("write");
+    ld.write(b1, b"logical disk!").expect("write");
+    println!(
+        "file_a blocks, in list order: {:?}",
+        ld.list_blocks(file_a).unwrap()
+    );
+
+    // 3. Atomic recovery units: create a file and its directory entry as
+    //    one indivisible operation — no fsck needed afterwards, ever.
+    let dir = ld
+        .new_list(PredList::After(file_a), ListHints::default())
+        .expect("dir list");
+    let created = ld_core::with_aru(&mut ld, |ld| {
+        let dirent = ld.new_block(dir, Pred::Start)?;
+        ld.write(dirent, b"name=notes.txt")?;
+        let data = ld.new_block(dir, Pred::After(dirent))?;
+        ld.write(data, b"file body")?;
+        Ok((dirent, data))
+    })
+    .expect("atomic create");
+    println!("atomically created blocks {:?}", created);
+
+    // 4. Multiple block sizes: a 64-byte i-node block next to 4 KB data.
+    let inode = ld
+        .new_block_with_size(dir, Pred::Start, 64)
+        .expect("small block");
+    ld.write(inode, &[0xAB; 64]).expect("write inode");
+
+    // Durability: everything before the Flush survives a crash.
+    ld.flush(FailureSet::PowerFailure).expect("flush");
+
+    // Crash! Drop all in-memory state and recover from the medium alone.
+    let config = ld.config().clone();
+    let mut disk = ld.into_disk();
+    disk.crash_now();
+    disk.revive();
+    let mut ld = Lld::open(disk, config).expect("recover");
+    println!(
+        "recovered by reading {} segment summaries in {:.0} ms (simulated)",
+        ld.stats().recovery_summaries_read,
+        ld.stats().recovery_us as f64 / 1000.0,
+    );
+
+    let mut buf = vec![0u8; 4096];
+    let n = ld.read(b1, &mut buf).expect("read");
+    println!(
+        "b1 after recovery: {:?}",
+        std::str::from_utf8(&buf[..n]).unwrap()
+    );
+    let n = ld.read(inode, &mut buf).expect("read");
+    assert_eq!(&buf[..n], &[0xAB; 64]);
+    println!(
+        "64-byte i-node block intact, list order preserved: {:?}",
+        ld.list_blocks(dir).unwrap()
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the Logical Disk (SOSP 1993) reproduction.
+//!
+//! This crate re-exports the workspace members so that examples and
+//! integration tests can reach the whole system through one dependency.
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced evaluation.
+
+pub use ffs;
+pub use fsutil;
+pub use ld_core;
+pub use ldcomp;
+pub use lld;
+pub use loge;
+pub use minix_fs;
+pub use simdisk;
+pub use sprite_lfs;

@@ -1,0 +1,126 @@
+//! Crash-anywhere property test at the file-system level: whatever sector
+//! the power fails on, MINIX LLD must recover to a consistent state — all
+//! durable files fully readable, directory structure coherent, and the
+//! file system writable afterwards. This is the paper's no-fsck claim
+//! under adversarial timing.
+
+use logical_disk_repro::lld::LldConfig;
+use logical_disk_repro::minix_fs::{FsConfig, FsCpuModel, LdStore, MinixFs};
+use logical_disk_repro::simdisk::SimDisk;
+use proptest::prelude::*;
+
+fn configs() -> (LldConfig, FsConfig) {
+    (
+        LldConfig {
+            segment_bytes: 64 << 10,
+            summary_bytes: 4 << 10,
+            cpu: logical_disk_repro::lld::CpuModel::free(),
+            ..LldConfig::default()
+        },
+        FsConfig {
+            ninodes: 256,
+            cache_bytes: 256 << 10,
+            cpu: FsCpuModel::free(),
+            ..FsConfig::default()
+        },
+    )
+}
+
+fn content(seed: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| ((seed * 31 + j * 7) % 251) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn any_crash_point_recovers_consistently(
+        crash_after in 1u64..6_000,
+        nfiles in 4usize..24,
+        syncs in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let (lld_config, fs_config) = configs();
+        let store = LdStore::format(
+            SimDisk::hp_c3010_with_capacity(24 << 20),
+            lld_config.clone(),
+        )
+        .expect("format");
+        let mut fs = MinixFs::format(store, fs_config.clone()).expect("mkfs");
+
+        // A durable baseline.
+        let mut durable: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..nfiles {
+            let path = format!("/base{i:02}");
+            let data = content(i, 512 + i * 301);
+            let ino = fs.create(&path).expect("create");
+            fs.write(ino, 0, &data).expect("write");
+            durable.push((path, data));
+        }
+        fs.sync().expect("sync");
+
+        // Chaos phase with the crash armed: creates, overwrites, deletes,
+        // and scattered syncs, until the disk dies.
+        fs.store_mut().disk_mut().crash_after_writes(crash_after);
+        'chaos: for i in 0..24usize {
+            let r: Result<(), logical_disk_repro::minix_fs::FsError> = (|| {
+                let path = format!("/chaos{i:02}");
+                let ino = fs.create(&path)?;
+                fs.write(ino, 0, &content(100 + i, 2000))?;
+                if i % 3 == 0 {
+                    let (p, _) = &durable[i % durable.len()];
+                    let ino = fs.lookup(p)?;
+                    fs.write(ino, 64, &content(200 + i, 700))?;
+                }
+                if syncs[i] {
+                    fs.sync()?;
+                }
+                Ok(())
+            })();
+            if r.is_err() {
+                break 'chaos; // The crash fired.
+            }
+        }
+
+        // Recover.
+        let mut disk = fs.into_store().into_disk();
+        disk.revive();
+        let store = LdStore::mount(disk, lld_config).expect("LD recovery must succeed");
+        let mut fs = MinixFs::mount(store, fs_config).expect("mount must succeed");
+
+        // Invariant 1: every directory entry resolves and reads fully.
+        for d in fs.readdir("/").expect("readdir") {
+            if d.name == "." || d.name == ".." {
+                continue;
+            }
+            let path = format!("/{}", d.name);
+            let ino = fs.lookup(&path).expect("entry resolves");
+            let size = fs.stat(ino).expect("stat").size as usize;
+            let mut buf = vec![0u8; size];
+            prop_assert_eq!(
+                fs.read(ino, 0, &mut buf).expect("read"),
+                size,
+                "{} truncated after recovery", &path
+            );
+        }
+
+        // Invariant 2: the pre-crash durable baseline still exists (its
+        // blocks may since have been overwritten by the synced chaos
+        // overwrites, so only existence + readability are asserted;
+        // baseline files never deleted).
+        for (path, data) in &durable {
+            let ino = fs.lookup(path).expect("baseline file survives");
+            let mut buf = vec![0u8; data.len()];
+            prop_assert_eq!(
+                fs.read(ino, 0, &mut buf).expect("read baseline"),
+                data.len()
+            );
+        }
+
+        // Invariant 3: the file system still works.
+        let ino = fs.create("/after-recovery").expect("create after recovery");
+        fs.write(ino, 0, b"alive").expect("write after recovery");
+        fs.sync().expect("sync after recovery");
+    }
+}
