@@ -31,6 +31,7 @@
 mod error;
 pub mod model;
 mod types;
+pub mod wire;
 
 pub use error::{LdError, Result};
 pub use types::{Bid, FailureSet, Lid, ListHints, Pred, PredList, ReservationId};

@@ -426,10 +426,10 @@ impl LogicalDisk for ModelLd {
         if a == b {
             return Ok(());
         }
-        let da = self.blocks.get(&a).expect("checked").data.clone();
-        let db = self.blocks.get(&b).expect("checked").data.clone();
-        self.blocks.get_mut(&a).expect("checked").data = db;
-        self.blocks.get_mut(&b).expect("checked").data = da;
+        let da = self.blocks.get(&a).expect("checked").data.clone(); // PANIC-OK: presence checked on the lines above
+        let db = self.blocks.get(&b).expect("checked").data.clone(); // PANIC-OK: presence checked on the lines above
+        self.blocks.get_mut(&a).expect("checked").data = db; // PANIC-OK: presence checked on the lines above
+        self.blocks.get_mut(&b).expect("checked").data = da; // PANIC-OK: presence checked on the lines above
         Ok(())
     }
 

@@ -1,0 +1,54 @@
+//! Little-endian wire-format readers shared by every on-disk decoder.
+//!
+//! All the stacked formats in this workspace — LLD segment summaries and
+//! checkpoints, the NVRAM staging image, and the file systems' metadata
+//! blocks — are little-endian with length-checked regions. These helpers
+//! read a fixed-width integer out of a byte slice at an offset.
+//!
+//! # Panics
+//!
+//! Indexing panics if the slice is shorter than `at + size_of::<T>()`;
+//! callers bound-check the containing region (sector, summary body,
+//! checkpoint payload) before decoding fields out of it. That is the same
+//! contract `T::from_le_bytes(slice.try_into().unwrap())` had, without
+//! scattering `unwrap` through the decoders.
+
+/// Reads a little-endian `u16` at byte offset `at`.
+#[inline]
+pub fn le_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([b[at], b[at + 1]])
+}
+
+/// Reads a little-endian `u32` at byte offset `at`.
+#[inline]
+pub fn le_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Reads a little-endian `u64` at byte offset `at`.
+#[inline]
+pub fn le_u64(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes([
+        b[at],
+        b[at + 1],
+        b[at + 2],
+        b[at + 3],
+        b[at + 4],
+        b[at + 5],
+        b[at + 6],
+        b[at + 7],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_from_le_bytes_at_offsets() {
+        let b: Vec<u8> = (1..=12).collect();
+        assert_eq!(le_u16(&b, 3), u16::from_le_bytes([4, 5]));
+        assert_eq!(le_u32(&b, 2), u32::from_le_bytes([3, 4, 5, 6]));
+        assert_eq!(le_u64(&b, 1), u64::from_le_bytes([2, 3, 4, 5, 6, 7, 8, 9]));
+    }
+}

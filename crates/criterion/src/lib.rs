@@ -1,0 +1,234 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the small slice of criterion 0.5 the benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `throughput`,
+//! and `Bencher::{iter, iter_batched}`. Measurement is a simple adaptive
+//! wall-clock loop reporting the mean time per iteration — good enough to
+//! track regressions over time, with none of criterion's statistics.
+//!
+//! This is a *host-side* harness: it is the one place in the workspace
+//! allowed to read `std::time::Instant` (simulated components take all
+//! time from `simdisk`'s clock; `xtask lint` enforces that split).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark context; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stub re-runs setup every
+/// iteration regardless, matching `PerIteration` semantics.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived MB/s reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        let mut line = format!(
+            "{}/{:<28} time: {:>12.3?}/iter  ({} iters)",
+            self.name, id, per_iter, b.iters
+        );
+        if let Some(t) = self.throughput {
+            let secs = per_iter.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Bytes(n) => {
+                        let mibs = n as f64 / secs / (1 << 20) as f64;
+                        line.push_str(&format!("  thrpt: {mibs:>10.1} MiB/s"));
+                    }
+                    Throughput::Elements(n) => {
+                        let eps = n as f64 / secs;
+                        line.push_str(&format!("  thrpt: {eps:>10.0} elem/s"));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's flow).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+/// Minimum measured time before the adaptive loop stops growing.
+const TARGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    /// Times `f` over an adaptively chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += n;
+            if self.total >= TARGET || self.iters >= self.sample_size as u64 * 1000 {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+
+    /// Times `routine` only, re-running `setup` (untimed) for every
+    /// iteration. Iteration count is bounded by the group sample size
+    /// because setup may dominate wall-clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= TARGET && self.iters >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Bytes(4096));
+        let mut count = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(5);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| {
+                    runs += 1;
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, runs);
+        assert!(runs >= 1);
+    }
+}

@@ -1,6 +1,8 @@
 //! FFS i-nodes: 64 bytes, 7 direct blocks, one indirect, one
 //! double-indirect — structurally like MINIX's but over 8 KB blocks.
 
+use fsutil::wire;
+
 /// Bytes per encoded i-node.
 pub const INODE_SIZE: usize = 64;
 /// Direct block pointers.
@@ -70,7 +72,7 @@ impl Inode {
     /// Decodes a slot; `None` when the slot is free.
     pub fn decode(slot: &[u8]) -> Option<Self> {
         assert_eq!(slot.len(), INODE_SIZE);
-        let t = u16::from_le_bytes(slot[0..2].try_into().expect("fixed"));
+        let t = wire::le_u16(slot, 0);
         let ftype = match t {
             0 => return None,
             1 => FileType::Regular,
@@ -79,13 +81,13 @@ impl Inode {
         };
         let mut ptrs = [0u32; NPTRS];
         for (i, p) in ptrs.iter_mut().enumerate() {
-            *p = u32::from_le_bytes(slot[20 + i * 4..24 + i * 4].try_into().expect("fixed"));
+            *p = wire::le_u32(slot, 20 + i * 4);
         }
         Some(Self {
             ftype,
-            size: u64::from_le_bytes(slot[4..12].try_into().expect("fixed")),
-            mtime: u32::from_le_bytes(slot[12..16].try_into().expect("fixed")),
-            cg: u32::from_le_bytes(slot[16..20].try_into().expect("fixed")),
+            size: wire::le_u64(slot, 4),
+            mtime: wire::le_u32(slot, 12),
+            cg: wire::le_u32(slot, 16),
             ptrs,
         })
     }

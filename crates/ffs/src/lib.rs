@@ -23,7 +23,7 @@ mod inode;
 pub use inode::{FileType, Inode, INODE_SIZE};
 
 use fsutil::dirent::{self, Dirent, DIRENT_SIZE};
-use fsutil::{path, Bitmap, BufferCache};
+use fsutil::{path, wire, Bitmap, BufferCache};
 use inode::{ptr_path, PtrPath, DIND, IND};
 use simdisk::BlockDev;
 
@@ -902,7 +902,7 @@ fn nz(a: u32) -> Option<u32> {
 }
 
 fn get_u32(b: &[u8], i: usize) -> u32 {
-    u32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("fixed"))
+    wire::le_u32(b, i * 4)
 }
 
 fn set_u32(b: &mut [u8], i: usize, v: u32) {

@@ -124,8 +124,8 @@ impl BufferCache {
                 .filter(|(a, _)| **a != addr)
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(a, _)| *a)
-                .expect("len > 1");
-            let e = self.entries.remove(&victim).expect("chosen above");
+                .expect("len > 1"); // PANIC-OK: non-empty: the cache holds at least one entry here
+            let e = self.entries.remove(&victim).expect("chosen above"); // PANIC-OK: the victim key was just drawn from this map
             self.used_bytes -= e.data.len();
             if e.dirty {
                 evicted.push(Evicted {

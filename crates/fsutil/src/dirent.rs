@@ -3,6 +3,8 @@
 //! Each entry is 32 bytes: a 4-byte little-endian i-node number (0 = free
 //! slot) followed by a NUL-padded name of up to [`MAX_NAME`] bytes.
 
+use ld_core::wire;
+
 /// Bytes per directory entry.
 pub const DIRENT_SIZE: usize = 32;
 /// Maximum file-name length.
@@ -48,7 +50,7 @@ pub fn clear(slot: &mut [u8]) {
 /// Decodes a slot; `None` for a free slot or a mangled name.
 pub fn decode(slot: &[u8]) -> Option<Dirent> {
     assert!(slot.len() == DIRENT_SIZE, "slot must be one dirent");
-    let ino = u32::from_le_bytes(slot[..4].try_into().expect("fixed size"));
+    let ino = wire::le_u32(slot, 0);
     if ino == 0 {
         return None;
     }
@@ -81,7 +83,7 @@ pub fn find_in_block(block: &[u8], name: &str) -> Option<(usize, u32)> {
         .chunks_exact(DIRENT_SIZE)
         .enumerate()
         .find_map(|(i, slot)| {
-            let ino = u32::from_le_bytes(slot[..4].try_into().expect("fixed size"));
+            let ino = wire::le_u32(slot, 0);
             if ino == 0 {
                 return None;
             }
@@ -96,7 +98,7 @@ pub fn find_in_block(block: &[u8], name: &str) -> Option<(usize, u32)> {
 pub fn free_slot(block: &[u8]) -> Option<usize> {
     block
         .chunks_exact(DIRENT_SIZE)
-        .position(|slot| u32::from_le_bytes(slot[..4].try_into().expect("fixed size")) == 0)
+        .position(|slot| wire::le_u32(slot, 0) == 0)
 }
 
 #[cfg(test)]

@@ -14,5 +14,6 @@ pub mod dirent;
 pub mod path;
 
 pub use bitmap::Bitmap;
+pub use ld_core::wire;
 pub use cache::{BufferCache, Evicted};
 pub use path::PathError;

@@ -1,0 +1,307 @@
+//! Corruption-injection tests: `ldck` must stay silent on clean images and
+//! flag each seeded corruption class with the right finding kind.
+//!
+//! Each test builds a cleanly shut down image (so a checkpoint exists),
+//! seeds one specific corruption at the raw-byte level, and asserts that
+//! the checker reports the corresponding error — the same classes a broken
+//! cable, a firmware bug, or a misdirected write would produce.
+
+use ld_core::{FailureSet, ListHints, LogicalDisk, Pred, PredList};
+use ldck::{check_image, Kind, Severity};
+use lld::checkpoint::{peek_image, CheckpointPeek, CheckpointView, SegStateView};
+use lld::records::{fnv1a64, Record, Stamped, SummaryBuilder};
+use lld::{Layout, Lld, LldConfig};
+use simdisk::{MemDisk, SECTOR_SIZE};
+
+fn config() -> LldConfig {
+    LldConfig::small_for_tests()
+}
+
+/// Formats a small disk, runs a mixed workload, shuts down cleanly, and
+/// returns the raw image plus its layout and parsed checkpoint.
+fn clean_image() -> (Vec<u8>, Layout, CheckpointView) {
+    let config = config();
+    let mut ld = Lld::format(MemDisk::with_capacity(2 << 20), config.clone()).expect("format");
+    let lid = ld
+        .new_list(PredList::Start, ListHints::default())
+        .expect("new_list");
+    let mut prev = None;
+    for i in 0..24u8 {
+        let pred = prev.map_or(Pred::Start, Pred::After);
+        let bid = ld.new_block(lid, pred).expect("new_block");
+        ld.write(bid, &vec![i; 4096]).expect("write");
+        prev = Some(bid);
+    }
+    // Delete a few so the summaries carry non-trivial history.
+    let blocks = ld.list_blocks(lid).expect("list_blocks");
+    for b in blocks.iter().take(3) {
+        ld.delete_block(*b, lid, None).expect("delete_block");
+    }
+    ld.flush(FailureSet::PowerFailure).expect("flush");
+    ld.shutdown().expect("shutdown");
+    let image = ld.into_disk().image_bytes();
+
+    let layout = Layout::compute(
+        (image.len() / SECTOR_SIZE) as u64,
+        config.segment_bytes,
+        config.summary_bytes,
+    );
+    let CheckpointPeek::Valid(view) = peek_image(&image, &layout) else {
+        panic!("clean shutdown must leave a valid checkpoint");
+    };
+    (image, layout, view)
+}
+
+fn kinds(report: &ldck::Report) -> Vec<Kind> {
+    report.findings.iter().map(|f| f.kind).collect()
+}
+
+#[test]
+fn clean_image_passes_silently() {
+    let (image, _, _) = clean_image();
+    let report = check_image(&image, &config());
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+    // Not merely error-free: a pristine checkpointed image has no findings
+    // of any severity.
+    assert!(report.findings.is_empty(), "noisy: {:?}", report.findings);
+    assert!(report.stats.checkpoint);
+    assert!(report.stats.blocks > 0 && report.stats.lists > 0);
+}
+
+#[test]
+fn checkpointless_clean_image_passes_the_sweep() {
+    let (mut image, _, _) = clean_image();
+    // Clear the checkpoint marker — the state a crashed-after-restart
+    // instance leaves behind. The sweep replay must agree.
+    image[6] = 0;
+    let report = check_image(&image, &config());
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+    assert!(!report.stats.checkpoint);
+    assert!(kinds(&report).contains(&Kind::CheckpointAbsent));
+}
+
+/// Class 1: bit flips inside a live segment's summary. The segment's
+/// records vanish (checksummed summaries fail closed), so the checkpoint's
+/// usage table and block map now reference a dead segment.
+#[test]
+fn summary_bit_flip_is_flagged() {
+    let (image, layout, view) = clean_image();
+    let live_seg = view
+        .usage
+        .iter()
+        .position(|u| u.state == SegStateView::Live && u.live_bytes > 0)
+        .expect("a live segment") as u32;
+    let base = layout.summary_base(live_seg) as usize * SECTOR_SIZE;
+    for probe in [0usize, 9, 33] {
+        let mut bad = image.clone();
+        bad[base + probe] ^= 0x40;
+        let report = check_image(&bad, &config());
+        assert!(!report.is_clean(), "flip at +{probe} went unnoticed");
+        let ks = kinds(&report);
+        assert!(
+            ks.contains(&Kind::LiveSegmentWithoutSummary)
+                || ks.contains(&Kind::MappedBlockInDeadSegment),
+            "flip at +{probe}: wrong findings {:?}",
+            report.findings
+        );
+    }
+}
+
+/// Class 2: a torn or truncated checkpoint payload under a marker that
+/// still claims validity — impossible by crash (the marker sector is
+/// written last), so it must be reported as corruption.
+#[test]
+fn truncated_checkpoint_payload_is_flagged() {
+    let (image, layout, view) = clean_image();
+    let payload_seg = *view.payload_segments.first().expect("payload segment");
+    let base = layout.segment_base(payload_seg) as usize * SECTOR_SIZE;
+
+    // Zero the tail of the payload's first segment: a truncation.
+    let mut bad = image.clone();
+    bad[base + 64..base + layout.segment_bytes].fill(0);
+    let report = check_image(&bad, &config());
+    assert!(!report.is_clean());
+    assert!(
+        kinds(&report).contains(&Kind::CheckpointCorrupt),
+        "wrong findings: {:?}",
+        report.findings
+    );
+
+    // A single flipped payload byte is equally fatal.
+    let mut bad = image.clone();
+    bad[base + 40] ^= 0x01;
+    let report = check_image(&bad, &config());
+    assert!(kinds(&report).contains(&Kind::CheckpointCorrupt));
+}
+
+/// Rewrites the checkpoint payload via `tamper` and re-stamps the header
+/// checksum, simulating consistent-looking but wrong checkpoint tables
+/// (e.g. a buggy shutdown path).
+fn patch_payload(image: &mut [u8], layout: &Layout, view: &CheckpointView, tamper: impl FnOnce(&mut [u8])) {
+    let header_checksum_at = 16; // magic(4) ver(2) marker(1) pad(1) len(8) -> checksum
+    let payload_len = {
+        let b: [u8; 8] = image[8..16].try_into().expect("fixed");
+        u64::from_le_bytes(b) as usize
+    };
+    let mut payload = Vec::with_capacity(view.payload_segments.len() * layout.segment_bytes);
+    for &seg in &view.payload_segments {
+        let base = layout.segment_base(seg) as usize * SECTOR_SIZE;
+        payload.extend_from_slice(&image[base..base + layout.segment_bytes]);
+    }
+    payload.truncate(payload_len);
+    tamper(&mut payload);
+    let checksum = fnv1a64(&payload);
+    for (i, &seg) in view.payload_segments.iter().enumerate() {
+        let chunk_start = i * layout.segment_bytes;
+        if chunk_start >= payload.len() {
+            break;
+        }
+        let chunk = &payload[chunk_start..payload.len().min(chunk_start + layout.segment_bytes)];
+        let base = layout.segment_base(seg) as usize * SECTOR_SIZE;
+        image[base..base + chunk.len()].copy_from_slice(chunk);
+    }
+    image[header_checksum_at..header_checksum_at + 8].copy_from_slice(&checksum.to_le_bytes());
+}
+
+/// Class 3: the segment usage table disagrees with the block map — here a
+/// live-byte count inflated behind a correct checksum. This is the
+/// accounting the cleaner trusts when picking victims.
+#[test]
+fn tampered_usage_accounting_is_flagged() {
+    let (mut image, layout, view) = clean_image();
+    let nsegs = view.usage.len();
+    let live_idx = view
+        .usage
+        .iter()
+        .position(|u| u.state == SegStateView::Live && u.live_bytes > 0)
+        .expect("a live segment");
+    patch_payload(&mut image, &layout, &view, |payload| {
+        // The usage table is the payload's tail: u32 count, then per
+        // segment state(1) + live_bytes(8) + last_write_ts(8).
+        let entry = payload.len() - nsegs * 17 + live_idx * 17;
+        assert_eq!(payload[entry], 1, "expected a Live state byte");
+        let lb: [u8; 8] = payload[entry + 1..entry + 9].try_into().expect("fixed");
+        let inflated = u64::from_le_bytes(lb) + 512;
+        payload[entry + 1..entry + 9].copy_from_slice(&inflated.to_le_bytes());
+    });
+    let report = check_image(&image, &config());
+    assert!(!report.is_clean());
+    assert!(
+        kinds(&report).contains(&Kind::LiveBytesMismatch),
+        "wrong findings: {:?}",
+        report.findings
+    );
+}
+
+/// Class 4: one segment's summary copied over another's (a misdirected
+/// write). Both summaries then carry the same physical-write sequence
+/// number, which the writer never produces.
+#[test]
+fn duplicated_summary_is_flagged() {
+    let (image, layout, view) = clean_image();
+    let live: Vec<u32> = view
+        .usage
+        .iter()
+        .enumerate()
+        .filter_map(|(s, u)| (u.state == SegStateView::Live).then_some(s as u32))
+        .collect();
+    let (src, dst) = (live[0], *live.last().expect("two live segments"));
+    assert_ne!(src, dst, "workload must fill at least two segments");
+    let s = layout.summary_base(src) as usize * SECTOR_SIZE;
+    let d = layout.summary_base(dst) as usize * SECTOR_SIZE;
+    let mut bad = image.clone();
+    let copy: Vec<u8> = bad[s..s + layout.summary_bytes].to_vec();
+    bad[d..d + layout.summary_bytes].copy_from_slice(&copy);
+    let report = check_image(&bad, &config());
+    assert!(!report.is_clean());
+    assert!(
+        kinds(&report).contains(&Kind::DuplicateSummarySeq),
+        "wrong findings: {:?}",
+        report.findings
+    );
+}
+
+/// Class 5: a forged summary whose records make two blocks claim
+/// overlapping byte ranges of one segment — checked through the sweep
+/// (checkpoint marker cleared so the replay is authoritative).
+#[test]
+fn overlapping_extents_are_flagged() {
+    let (mut image, layout, view) = clean_image();
+    image[6] = 0; // Force sweep mode.
+
+    // Highest ts/seq so the forged records win the replay ordering.
+    let ts0 = view.ts + 10;
+    let forged_seq = view.seq + 10;
+    let free_seg = view
+        .usage
+        .iter()
+        .position(|u| u.state == SegStateView::Free)
+        .expect("a free segment") as u32;
+
+    let mut b = SummaryBuilder::new();
+    let stamp = |ts: u64, rec: Record| Stamped {
+        ts,
+        ends_aru: true,
+        aru: None,
+        rec,
+    };
+    b.push(stamp(ts0, Record::NewList { lid: 99, pred: None, hints: ListHints::default() }));
+    b.push(stamp(ts0 + 1, Record::NewBlock { bid: 9001, lid: 99, size_class: 4096 }));
+    b.push(stamp(
+        ts0 + 2,
+        Record::WriteBlock { bid: 9001, offset: 0, stored_len: 4096, logical_len: 4096, compressed: false },
+    ));
+    b.push(stamp(ts0 + 3, Record::NewBlock { bid: 9002, lid: 99, size_class: 4096 }));
+    b.push(stamp(
+        ts0 + 4,
+        // Overlaps 9001's 0..4096 extent.
+        Record::WriteBlock { bid: 9002, offset: 2048, stored_len: 4096, logical_len: 4096, compressed: false },
+    ));
+    b.push(stamp(ts0 + 5, Record::ListHead { lid: 99, first: Some(9001) }));
+    b.push(stamp(ts0 + 6, Record::Link { bid: 9001, next: Some(9002) }));
+    b.push(stamp(ts0 + 7, Record::Link { bid: 9002, next: None }));
+    let summary = b.finish(forged_seq, layout.summary_bytes);
+    let base = layout.summary_base(free_seg) as usize * SECTOR_SIZE;
+    image[base..base + layout.summary_bytes].copy_from_slice(&summary);
+
+    let report = check_image(&image, &config());
+    assert!(!report.is_clean());
+    assert!(
+        kinds(&report).contains(&Kind::OverlappingExtents),
+        "wrong findings: {:?}",
+        report.findings
+    );
+}
+
+/// A trailing explicit ARU that never ended is *not* corruption: recovery
+/// discards it by design (§3.1). `ldck` reports it as info and stays
+/// green.
+#[test]
+fn incomplete_trailing_aru_is_info_not_error() {
+    let config = config();
+    let mut ld = Lld::format(MemDisk::with_capacity(2 << 20), config.clone()).expect("format");
+    let lid = ld
+        .new_list(PredList::Start, ListHints::default())
+        .expect("new_list");
+    // Durable baseline, then an ARU big enough to seal segments mid-unit.
+    let b0 = ld.new_block(lid, Pred::Start).expect("new_block");
+    ld.write(b0, &[7u8; 4096]).expect("write");
+    ld.flush(FailureSet::PowerFailure).expect("flush");
+    ld.begin_aru().expect("begin_aru");
+    let mut prev = b0;
+    for i in 0..20u8 {
+        let bid = ld.new_block(lid, Pred::After(prev)).expect("new_block");
+        ld.write(bid, &vec![i; 4096]).expect("write");
+        prev = bid;
+    }
+    // Crash with the ARU still open: sealed segments hold its records.
+    let image = ld.into_disk().image_bytes();
+    let report = check_image(&image, &config);
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+    let aru = report
+        .findings
+        .iter()
+        .find(|f| f.kind == Kind::IncompleteAru)
+        .expect("incomplete ARU must be reported");
+    assert_eq!(aru.severity, Severity::Info);
+}

@@ -205,7 +205,7 @@ impl ListTable {
         let next_list = match pred {
             None => self.head.replace(lid),
             Some(p) => {
-                let pe = self.entries[p as usize].as_mut().expect("checked above");
+                let pe = self.entries[p as usize].as_mut().expect("checked above"); // PANIC-OK: presence checked on the lines above
                 pe.next_list.replace(lid)
             }
         };
@@ -237,7 +237,7 @@ impl ListTable {
             None => self.head.replace(lid),
             Some(p) => self.entries[p as usize]
                 .as_mut()
-                .expect("filtered")
+                .expect("filtered") // PANIC-OK: the filter above keeps only Some entries
                 .next_list
                 .replace(lid),
         };
@@ -258,7 +258,7 @@ impl ListTable {
             let next = self.entries[c as usize].and_then(|e| e.next_list);
             if next == Some(lid) {
                 let target_next = self.entries[lid as usize].and_then(|e| e.next_list);
-                self.entries[c as usize].as_mut().expect("walked").next_list = target_next;
+                self.entries[c as usize].as_mut().expect("walked").next_list = target_next; // PANIC-OK: the bid was read off the chain just walked
                 return;
             }
             cur = next;
@@ -274,10 +274,10 @@ impl ListTable {
         let hint_ok =
             pred_hint.is_some_and(|p| self.get(p).is_some_and(|pe| pe.next_list == Some(lid)));
         if hint_ok {
-            let p = pred_hint.expect("checked");
+            let p = pred_hint.expect("checked"); // PANIC-OK: presence checked on the lines above
             self.entries[p as usize]
                 .as_mut()
-                .expect("checked")
+                .expect("checked") // PANIC-OK: presence checked on the lines above
                 .next_list = entry.next_list;
         } else {
             self.unlink_from_order(lid);
@@ -308,13 +308,13 @@ impl ListTable {
             None => self.head.replace(lid),
             Some(p) => self.entries[p as usize]
                 .as_mut()
-                .expect("checked")
+                .expect("checked") // PANIC-OK: presence checked on the lines above
                 .next_list
                 .replace(lid),
         };
         self.entries[lid as usize]
             .as_mut()
-            .expect("checked")
+            .expect("checked") // PANIC-OK: presence checked on the lines above
             .next_list = next_list;
         true
     }

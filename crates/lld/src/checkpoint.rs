@@ -13,7 +13,7 @@
 //! optimization: when no free segment is available (or the header is torn)
 //! startup falls back to the recovery sweep.
 
-use ld_core::{LdError, ListHints, Result};
+use ld_core::{wire, LdError, ListHints, Result};
 use simdisk::{BlockDev, SECTOR_SIZE};
 
 use crate::block_map::{BlockEntry, BlockMap, ListTable};
@@ -22,8 +22,10 @@ use crate::records::fnv1a64;
 use crate::usage::{SegState, SegUsage, UsageTable};
 use crate::{dev, Layout, Lld};
 
-const CKPT_MAGIC: u32 = 0x4C44_4350; // "LDCP"
-const CKPT_VERSION: u16 = 1;
+/// Magic number identifying a checkpoint header ("LDCP").
+pub const CKPT_MAGIC: u32 = 0x4C44_4350;
+/// Checkpoint format version.
+pub const CKPT_VERSION: u16 = 1;
 
 /// State reconstructed from a checkpoint.
 pub(crate) struct LoadedState {
@@ -32,6 +34,165 @@ pub(crate) struct LoadedState {
     pub usage: UsageTable,
     pub ts: u64,
     pub seq: u64,
+}
+
+/// One block-map entry of a parsed checkpoint, as plain data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockView {
+    /// Logical block number.
+    pub bid: u64,
+    /// Segment holding the live copy (may be a sentinel for never-written
+    /// blocks).
+    pub seg: u32,
+    /// Byte offset within the segment's data region.
+    pub offset: u32,
+    /// Stored (possibly compressed) length.
+    pub stored_len: u32,
+    /// Logical length.
+    pub logical_len: u32,
+    /// Size class in bytes.
+    pub size_class: u32,
+    /// Whether the stored bytes are compressed.
+    pub compressed: bool,
+    /// Successor in the owning list.
+    pub next: Option<u64>,
+    /// Owning list id.
+    pub list: u64,
+}
+
+/// One list-table entry of a parsed checkpoint, as plain data, in
+/// list-of-lists order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListView {
+    /// List id.
+    pub lid: u64,
+    /// First block of the list.
+    pub first: Option<u64>,
+    /// Clustering/compression hints.
+    pub hints: ListHints,
+}
+
+/// Segment state recorded in a checkpoint's usage table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegStateView {
+    /// No live data and no summary worth keeping.
+    Free,
+    /// Holds live data and/or a summary with live metadata records.
+    Live,
+    /// Durable scratch copy of a partial segment (§3.2).
+    Scratch,
+}
+
+/// One usage-table entry of a parsed checkpoint, indexed by segment id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegUsageView {
+    /// Segment state.
+    pub state: SegStateView,
+    /// Live payload bytes accounted to the segment.
+    pub live_bytes: u64,
+    /// Timestamp of the last write into the segment.
+    pub last_write_ts: u64,
+}
+
+/// A checkpoint parsed from a raw image without touching the device — the
+/// read-only counterpart of [`try_load`], used by offline tooling (`ldck`).
+#[derive(Debug, Clone)]
+pub struct CheckpointView {
+    /// Operation-counter value at shutdown.
+    pub ts: u64,
+    /// Next physical-write sequence number at shutdown.
+    pub seq: u64,
+    /// Free segments the payload was written into, in chunk order.
+    pub payload_segments: Vec<u32>,
+    /// Block-number map entries.
+    pub blocks: Vec<BlockView>,
+    /// List-table entries in list-of-lists order.
+    pub lists: Vec<ListView>,
+    /// Usage table, one entry per segment.
+    pub usage: Vec<SegUsageView>,
+}
+
+/// Outcome of peeking at a raw image's checkpoint region.
+#[derive(Debug, Clone)]
+pub enum CheckpointPeek {
+    /// No valid-marked checkpoint header (never written, already consumed
+    /// by a start-up, or torn before the marker was set) — the normal state
+    /// after a crash; start-up falls back to the recovery sweep.
+    Absent,
+    /// The marker claims a valid checkpoint but it cannot be read back.
+    /// Unreachable by a crash (the header sector is written last, after the
+    /// payload, and sectors persist atomically) — this is corruption.
+    Corrupt(String),
+    /// A fully parsed checkpoint.
+    Valid(CheckpointView),
+}
+
+/// Parses the checkpoint of a raw disk image **read-only**: unlike
+/// [`try_load`] this never invalidates the marker, making it safe for
+/// offline analysis of an image that may still be started from.
+pub fn peek_image(image: &[u8], layout: &Layout) -> CheckpointPeek {
+    let header_len = HEADER_SECTORS as usize * SECTOR_SIZE;
+    let Some(header) = image.get(..header_len) else {
+        return CheckpointPeek::Corrupt(format!(
+            "image shorter than the {header_len}-byte checkpoint header"
+        ));
+    };
+    let magic = wire::le_u32(header, 0);
+    let version = wire::le_u16(header, 4);
+    if magic != CKPT_MAGIC || version != CKPT_VERSION || header[6] != 1 {
+        return CheckpointPeek::Absent;
+    }
+    let mut r = Reader {
+        data: header,
+        pos: 8,
+    };
+    let (Some(payload_len), Some(checksum), Some(nsegs)) = (r.u64(), r.u64(), r.u32()) else {
+        return CheckpointPeek::Corrupt("checkpoint header fields truncated".into());
+    };
+    let mut segs = Vec::with_capacity(nsegs as usize);
+    for _ in 0..nsegs {
+        match r.u32() {
+            Some(s) if s < layout.segments => segs.push(s),
+            Some(s) => {
+                return CheckpointPeek::Corrupt(format!(
+                    "payload segment {s} out of range (disk has {})",
+                    layout.segments
+                ))
+            }
+            None => return CheckpointPeek::Corrupt("payload segment list truncated".into()),
+        }
+    }
+    let payload_len = payload_len as usize;
+    if payload_len > segs.len() * layout.segment_bytes {
+        return CheckpointPeek::Corrupt(format!(
+            "payload length {payload_len} exceeds the {} listed segments",
+            segs.len()
+        ));
+    }
+    let mut payload = Vec::with_capacity(segs.len() * layout.segment_bytes);
+    for seg in &segs {
+        let base = layout.segment_base(*seg) as usize * SECTOR_SIZE;
+        let Some(chunk) = image.get(base..base + layout.segment_bytes) else {
+            return CheckpointPeek::Corrupt(format!("image truncated inside segment {seg}"));
+        };
+        payload.extend_from_slice(chunk);
+    }
+    payload.truncate(payload_len);
+    if fnv1a64(&payload) != checksum {
+        return CheckpointPeek::Corrupt("payload checksum mismatch".into());
+    }
+    let Some(mut view) = deserialize_view(&payload) else {
+        return CheckpointPeek::Corrupt("payload passed checksum but failed to parse".into());
+    };
+    if view.usage.len() != layout.segments as usize {
+        return CheckpointPeek::Corrupt(format!(
+            "usage table covers {} segments, disk has {}",
+            view.usage.len(),
+            layout.segments
+        ));
+    }
+    view.payload_segments = segs;
+    CheckpointPeek::Valid(view)
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -51,13 +212,13 @@ impl<'a> Reader<'a> {
     fn u64(&mut self) -> Option<u64> {
         let b = self.data.get(self.pos..self.pos + 8)?;
         self.pos += 8;
-        Some(u64::from_le_bytes(b.try_into().unwrap()))
+        Some(wire::le_u64(b, 0))
     }
 
     fn u32(&mut self) -> Option<u32> {
         let b = self.data.get(self.pos..self.pos + 4)?;
         self.pos += 4;
-        Some(u32::from_le_bytes(b.try_into().unwrap()))
+        Some(wire::le_u32(b, 0))
     }
 
     fn u8(&mut self) -> Option<u8> {
@@ -93,7 +254,7 @@ fn serialize<D: BlockDev>(lld: &Lld<D>) -> Vec<u8> {
     let order = lld.lists.order();
     put_u64(&mut out, order.len() as u64);
     for lid in &order {
-        let e = lld.lists.get(*lid).expect("order() returns live lists");
+        let e = lld.lists.get(*lid).expect("order() returns live lists"); // PANIC-OK: order() yields only lids present in the table
         put_u64(&mut out, *lid);
         put_u64(&mut out, e.first.map_or(0, |f| f + 1));
         let h = (e.hints.cluster as u8)
@@ -116,74 +277,127 @@ fn serialize<D: BlockDev>(lld: &Lld<D>) -> Vec<u8> {
     out
 }
 
-fn deserialize(data: &[u8]) -> Option<LoadedState> {
+/// Parses a checkpoint payload into plain data. Shared by [`try_load`]
+/// (which then builds live tables) and [`peek_image`] (read-only analysis),
+/// so there is exactly one decoder for the wire format.
+fn deserialize_view(data: &[u8]) -> Option<CheckpointView> {
     let mut r = Reader { data, pos: 0 };
     let ts = r.u64()?;
     let seq = r.u64()?;
 
-    let mut map = BlockMap::new();
     let nblocks = r.u64()?;
+    let mut blocks = Vec::with_capacity(nblocks.min(1 << 24) as usize);
     for _ in 0..nblocks {
         let bid = r.u64()?;
-        let mut e = BlockEntry::new(0, 0);
-        e.seg = r.u32()?;
-        e.offset = r.u32()?;
-        e.stored_len = r.u32()?;
-        e.logical_len = r.u32()?;
-        e.size_class = r.u32()?;
-        e.compressed = r.u8()? != 0;
+        let seg = r.u32()?;
+        let offset = r.u32()?;
+        let stored_len = r.u32()?;
+        let logical_len = r.u32()?;
+        let size_class = r.u32()?;
+        let compressed = r.u8()? != 0;
         let next = r.u64()?;
-        e.next = (next != 0).then(|| next - 1);
-        e.list = r.u64()?;
-        map.install(bid, e);
+        let list = r.u64()?;
+        blocks.push(BlockView {
+            bid,
+            seg,
+            offset,
+            stored_len,
+            logical_len,
+            size_class,
+            compressed,
+            next: (next != 0).then(|| next - 1),
+            list,
+        });
     }
-    map.rebuild_free_stack();
 
-    let mut lists = ListTable::new();
     let nlists = r.u64()?;
-    let mut prev: Option<u64> = None;
+    let mut lists = Vec::with_capacity(nlists.min(1 << 24) as usize);
     for _ in 0..nlists {
         let lid = r.u64()?;
         let first = r.u64()?;
         let h = r.u8()?;
-        let hints = ListHints {
-            cluster: h & 1 != 0,
-            compress: h & 2 != 0,
-            interlist_cluster: h & 4 != 0,
+        lists.push(ListView {
+            lid,
+            first: (first != 0).then(|| first - 1),
+            hints: ListHints {
+                cluster: h & 1 != 0,
+                compress: h & 2 != 0,
+                interlist_cluster: h & 4 != 0,
+            },
+        });
+    }
+
+    let nsegs = r.u32()?;
+    let mut usage = Vec::with_capacity(nsegs.min(1 << 24) as usize);
+    for _ in 0..nsegs {
+        let state = match r.u8()? {
+            0 => SegStateView::Free,
+            1 => SegStateView::Live,
+            2 => SegStateView::Scratch,
+            _ => return None,
         };
-        lists.install(lid, prev, hints);
-        lists.get_mut(lid).expect("installed").first = (first != 0).then(|| first - 1);
-        prev = Some(lid);
+        usage.push(SegUsageView {
+            state,
+            live_bytes: r.u64()?,
+            last_write_ts: r.u64()?,
+        });
+    }
+    Some(CheckpointView {
+        ts,
+        seq,
+        payload_segments: Vec::new(),
+        blocks,
+        lists,
+        usage,
+    })
+}
+
+/// Builds live tables from a parsed view.
+fn state_from_view(view: CheckpointView) -> LoadedState {
+    let mut map = BlockMap::new();
+    for b in &view.blocks {
+        let mut e = BlockEntry::new(b.list, b.size_class);
+        e.seg = b.seg;
+        e.offset = b.offset;
+        e.stored_len = b.stored_len;
+        e.logical_len = b.logical_len;
+        e.compressed = b.compressed;
+        e.next = b.next;
+        map.install(b.bid, e);
+    }
+    map.rebuild_free_stack();
+
+    let mut lists = ListTable::new();
+    let mut prev: Option<u64> = None;
+    for l in &view.lists {
+        lists.install(l.lid, prev, l.hints);
+        lists.get_mut(l.lid).expect("installed").first = l.first; // PANIC-OK: inserted a few lines up
+        prev = Some(l.lid);
     }
     lists.rebuild_free_stack();
 
-    let nsegs = r.u32()?;
-    let mut usage = UsageTable::new(nsegs);
-    for seg in 0..nsegs {
-        let state = match r.u8()? {
-            0 => SegState::Free,
-            1 => SegState::Live,
-            2 => SegState::Scratch,
-            _ => return None,
-        };
-        let live_bytes = r.u64()?;
-        let last_write_ts = r.u64()?;
+    let mut usage = UsageTable::new(view.usage.len() as u32);
+    for (seg, u) in view.usage.iter().enumerate() {
         usage.set(
-            seg,
+            seg as u32,
             SegUsage {
-                state,
-                live_bytes,
-                last_write_ts,
+                state: match u.state {
+                    SegStateView::Free => SegState::Free,
+                    SegStateView::Live => SegState::Live,
+                    SegStateView::Scratch => SegState::Scratch,
+                },
+                live_bytes: u.live_bytes,
+                last_write_ts: u.last_write_ts,
             },
         );
     }
-    Some(LoadedState {
+    LoadedState {
         map,
         lists,
         usage,
-        ts,
-        seq,
-    })
+        ts: view.ts,
+        seq: view.seq,
+    }
 }
 
 /// Writes the checkpoint: payload into free segments, then the valid
@@ -231,8 +445,8 @@ pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Opt
     let mut header = vec![0u8; HEADER_SECTORS as usize * SECTOR_SIZE];
     disk.read_sectors(0, &mut header).map_err(dev)?;
     // Layout: u32 magic, u16 version, u8 valid marker, u8 pad, then fields.
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed size"));
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("fixed size"));
+    let magic = wire::le_u32(&header, 0);
+    let version = wire::le_u16(&header, 4);
     if magic != CKPT_MAGIC || version != CKPT_VERSION || header[6] != 1 {
         return Ok(None);
     }
@@ -266,12 +480,13 @@ pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Opt
     if fnv1a64(&payload) != checksum {
         return Ok(None);
     }
-    let state = deserialize(&payload).ok_or_else(|| {
+    let view = deserialize_view(&payload).ok_or_else(|| {
         LdError::Device("checkpoint payload passed checksum but failed to parse".into())
     })?;
-    if state.usage.len() != layout.segments {
+    if view.usage.len() != layout.segments as usize {
         return Ok(None);
     }
+    let state = state_from_view(view);
 
     // Invalidate the marker before handing the state out.
     header[6] = 0;

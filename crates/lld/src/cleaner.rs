@@ -174,7 +174,7 @@ impl<D: BlockDev> Lld<D> {
                 .read_sectors(self.layout.segment_base(victim), &mut data)
                 .map_err(dev)?;
             for bid in live {
-                let e = *self.map.get(bid).expect("liveness checked");
+                let e = *self.map.get(bid).expect("liveness checked"); // PANIC-OK: the cleaner only visits bids its liveness check kept
                 if e.seg != victim {
                     // A seal during this loop cannot move it, but be safe.
                     continue;
@@ -189,7 +189,7 @@ impl<D: BlockDev> Lld<D> {
                     logical_len: e.logical_len,
                     compressed: e.compressed,
                 });
-                let entry = self.map.get_mut(bid).expect("liveness checked");
+                let entry = self.map.get_mut(bid).expect("liveness checked"); // PANIC-OK: the cleaner only visits bids its liveness check kept
                 entry.seg = OPEN_SEG;
                 entry.offset = offset;
                 self.usage.sub_live(victim, u64::from(e.stored_len));
@@ -234,7 +234,7 @@ impl<D: BlockDev> Lld<D> {
                 compressed: e.compressed,
             });
             self.usage.sub_live(e.seg, u64::from(e.stored_len));
-            let entry = self.map.get_mut(bid).expect("checked");
+            let entry = self.map.get_mut(bid).expect("checked"); // PANIC-OK: presence checked on the lines above
             entry.seg = OPEN_SEG;
             entry.offset = offset;
             self.open_live += u64::from(e.stored_len);
@@ -461,7 +461,7 @@ impl<D: BlockDev> Lld<D> {
                     compressed: e.compressed,
                 });
                 self.usage.sub_live(e.seg, u64::from(e.stored_len));
-                let entry = self.map.get_mut(bid).expect("checked");
+                let entry = self.map.get_mut(bid).expect("checked"); // PANIC-OK: presence checked on the lines above
                 entry.seg = OPEN_SEG;
                 entry.offset = offset;
                 self.open_live += u64::from(e.stored_len);
@@ -505,7 +505,7 @@ impl<D: BlockDev> Lld<D> {
                     r?;
                 }
             }
-            let e = *self.map.get(bid).expect("walked");
+            let e = *self.map.get(bid).expect("walked"); // PANIC-OK: the bid was read off the chain just walked
             if !e.on_disk() {
                 continue; // Already in memory (clustered by definition).
             }
@@ -538,7 +538,7 @@ impl<D: BlockDev> Lld<D> {
                 compressed: e.compressed,
             });
             self.usage.sub_live(e.seg, u64::from(e.stored_len));
-            let entry = self.map.get_mut(bid).expect("walked");
+            let entry = self.map.get_mut(bid).expect("walked"); // PANIC-OK: the bid was read off the chain just walked
             entry.seg = OPEN_SEG;
             entry.offset = offset;
             self.open_live += u64::from(e.stored_len);

@@ -52,7 +52,7 @@ impl Layout {
             "device too small: {total_sectors} sectors cannot hold one {segment_bytes}-byte segment"
         );
         Self {
-            segments: u32::try_from(segments).expect("segment count overflow"),
+            segments: u32::try_from(segments).expect("segment count overflow"), // PANIC-OK: documented panic contract (see # Panics)
             segment_sectors,
             segment_bytes,
             data_bytes: segment_bytes - summary_bytes,

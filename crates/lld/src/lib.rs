@@ -56,19 +56,21 @@ mod block_map;
 pub mod checkpoint;
 pub mod cleaner;
 mod config;
-mod layout;
+pub mod layout;
 pub mod memory;
 mod nvram;
-mod records;
+pub mod records;
 pub mod recovery;
 mod segbuf;
 mod stats;
 mod usage;
 
+pub use block_map::{NO_SEG, OPEN_SEG};
 pub use cleaner::CleaningPolicy;
 pub use config::{CpuModel, LldConfig};
 pub use layout::Layout;
 pub use memory::{ListGranularity, MemoryModel};
+pub use recovery::{NVRAM_SEG, PROVISIONAL_LIST};
 pub use stats::LldStats;
 
 /// Identifier of an open atomic recovery unit (§5.4 concurrent extension).
@@ -82,7 +84,7 @@ use ld_core::{
 };
 use simdisk::{BlockDev, DiskError};
 
-use block_map::{BlockMap, ListTable, NO_SEG, OPEN_SEG};
+use block_map::{BlockMap, ListTable};
 use records::{Record, Stamped};
 use segbuf::SegmentBuffer;
 use usage::UsageTable;
@@ -762,7 +764,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         }
         // The seal inside ensure_room may have moved the old copy to disk;
         // re-read the entry before killing it.
-        let old = *self.map.get(bid.0).expect("entry verified above");
+        let old = *self.map.get(bid.0).expect("entry verified above"); // PANIC-OK: presence checked at the top of the function
         self.kill_copy(&old);
         let offset = self.open.append_data(&stored);
         self.log(Record::WriteBlock {
@@ -772,7 +774,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
             logical_len: data.len() as u32,
             compressed,
         });
-        let entry = self.map.get_mut(bid.0).expect("entry verified above");
+        let entry = self.map.get_mut(bid.0).expect("entry verified above"); // PANIC-OK: presence checked at the top of the function
         entry.seg = OPEN_SEG;
         entry.offset = offset;
         entry.stored_len = stored.len() as u32;
@@ -818,9 +820,9 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         });
         match pred {
             Pred::Start => {
-                let list = self.lists.get_mut(lid.0).expect("verified above");
+                let list = self.lists.get_mut(lid.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
                 let old_head = list.first.replace(bid);
-                self.map.get_mut(bid).expect("just allocated").next = old_head;
+                self.map.get_mut(bid).expect("just allocated").next = old_head; // PANIC-OK: inserted a few lines up
                 self.log(Record::ListHead {
                     lid: lid.0,
                     first: Some(bid),
@@ -831,9 +833,9 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
                 });
             }
             Pred::After(p) => {
-                let pe = self.map.get_mut(p.0).expect("verified above");
+                let pe = self.map.get_mut(p.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
                 let old_next = pe.next.replace(bid);
-                self.map.get_mut(bid).expect("just allocated").next = old_next;
+                self.map.get_mut(bid).expect("just allocated").next = old_next; // PANIC-OK: inserted a few lines up
                 self.log(Record::Link {
                     bid: p.0,
                     next: Some(bid),
@@ -858,17 +860,17 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         let pred = self.find_pred(lid.0, bid.0, pred_hint.map(|b| b.0))?;
         self.ensure_room(0, 2)?;
         // The entry may have moved during a seal; its links are unchanged.
-        let e = *self.map.get(bid.0).expect("entry verified above");
+        let e = *self.map.get(bid.0).expect("entry verified above"); // PANIC-OK: presence checked at the top of the function
         match pred {
             None => {
-                self.lists.get_mut(lid.0).expect("verified").first = e.next;
+                self.lists.get_mut(lid.0).expect("verified").first = e.next; // PANIC-OK: presence checked at the top of the function
                 self.log(Record::ListHead {
                     lid: lid.0,
                     first: e.next,
                 });
             }
             Some(p) => {
-                self.map.get_mut(p).expect("found by search").next = e.next;
+                self.map.get_mut(p).expect("found by search").next = e.next; // PANIC-OK: the predecessor was found by the walk above
                 self.log(Record::Link {
                     bid: p,
                     next: e.next,
@@ -899,7 +901,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         let lid = self
             .lists
             .alloc(pred_raw, hints)
-            .expect("predecessor verified above");
+            .expect("predecessor verified above"); // PANIC-OK: presence checked at the top of the function
         self.log(Record::NewList {
             lid,
             pred: pred_raw,
@@ -918,7 +920,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         let blocks = self.walk_list(lid.0);
         self.ensure_room(0, 1)?;
         for bid in &blocks {
-            let e = *self.map.get(*bid).expect("walked from live list");
+            let e = *self.map.get(*bid).expect("walked from live list"); // PANIC-OK: the bid was read off the chain just walked
             self.kill_copy(&e);
             self.allocated_logical -= u64::from(e.size_class);
             self.map.free(*bid);
@@ -1069,18 +1071,18 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         }
         let src_pred = self.find_pred(src.0, first.0, None)?;
         self.ensure_room(0, 4)?;
-        let after_chain = self.map.get(last.0).expect("walked").next;
+        let after_chain = self.map.get(last.0).expect("walked").next; // PANIC-OK: the bid was read off the chain just walked
         // Unlink from src.
         match src_pred {
             None => {
-                self.lists.get_mut(src.0).expect("verified").first = after_chain;
+                self.lists.get_mut(src.0).expect("verified").first = after_chain; // PANIC-OK: presence checked at the top of the function
                 self.log(Record::ListHead {
                     lid: src.0,
                     first: after_chain,
                 });
             }
             Some(p) => {
-                self.map.get_mut(p).expect("found").next = after_chain;
+                self.map.get_mut(p).expect("found").next = after_chain; // PANIC-OK: the predecessor was found by the walk above
                 self.log(Record::Link {
                     bid: p,
                     next: after_chain,
@@ -1090,9 +1092,9 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         // Link into dst.
         match dst_pred {
             Pred::Start => {
-                let dl = self.lists.get_mut(dst.0).expect("verified");
+                let dl = self.lists.get_mut(dst.0).expect("verified"); // PANIC-OK: presence checked at the top of the function
                 let old = dl.first.replace(first.0);
-                self.map.get_mut(last.0).expect("walked").next = old;
+                self.map.get_mut(last.0).expect("walked").next = old; // PANIC-OK: the bid was read off the chain just walked
                 self.log(Record::ListHead {
                     lid: dst.0,
                     first: Some(first.0),
@@ -1103,9 +1105,9 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
                 });
             }
             Pred::After(p) => {
-                let pe = self.map.get_mut(p.0).expect("verified");
+                let pe = self.map.get_mut(p.0).expect("verified"); // PANIC-OK: presence checked at the top of the function
                 let old = pe.next.replace(first.0);
-                self.map.get_mut(last.0).expect("walked").next = old;
+                self.map.get_mut(last.0).expect("walked").next = old; // PANIC-OK: the bid was read off the chain just walked
                 self.log(Record::Link {
                     bid: p.0,
                     next: Some(first.0),
@@ -1117,7 +1119,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
             }
         }
         for c in &chain {
-            self.map.get_mut(*c).expect("walked").list = dst.0;
+            self.map.get_mut(*c).expect("walked").list = dst.0; // PANIC-OK: the bid was read off the chain just walked
         }
         self.charge_cpu(2 * self.list_cpu() + chain.len() as u64 * self.walk_cpu());
         Ok(())
@@ -1167,10 +1169,10 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         self.ensure_room(0, 1)?;
         // The seal inside ensure_room may have re-pointed open-segment
         // copies; re-read both entries before swapping.
-        let ea = *self.map.get(a.0).expect("verified above");
-        let eb = *self.map.get(b.0).expect("verified above");
+        let ea = *self.map.get(a.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
+        let eb = *self.map.get(b.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
         {
-            let ma = self.map.get_mut(a.0).expect("verified above");
+            let ma = self.map.get_mut(a.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
             ma.seg = eb.seg;
             ma.offset = eb.offset;
             ma.stored_len = eb.stored_len;
@@ -1178,7 +1180,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
             ma.compressed = eb.compressed;
         }
         {
-            let mb = self.map.get_mut(b.0).expect("verified above");
+            let mb = self.map.get_mut(b.0).expect("verified above"); // PANIC-OK: presence checked at the top of the function
             mb.seg = ea.seg;
             mb.offset = ea.offset;
             mb.stored_len = ea.stored_len;
@@ -1200,7 +1202,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         if self.lists.get(lid.0).is_none() {
             return Err(LdError::UnknownList(lid));
         }
-        let mut cur = self.lists.get(lid.0).expect("verified").first;
+        let mut cur = self.lists.get(lid.0).expect("verified").first; // PANIC-OK: presence checked at the top of the function
         let mut steps = 0u64;
         let limit = self.map.allocated() as u64 + 1;
         while let Some(bid) = cur {

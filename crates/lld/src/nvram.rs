@@ -6,6 +6,8 @@
 //! a partial segment. The image survives a crash; recovery materializes it
 //! into a free segment and replays its records like any other summary.
 
+use ld_core::wire;
+
 use crate::records::fnv1a64;
 
 const NVRAM_MAGIC: u32 = 0x4C44_4E56; // "LDNV"
@@ -41,14 +43,14 @@ pub fn decode_image(raw: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
     if raw.len() < IMAGE_HEADER_LEN {
         return None;
     }
-    let magic = u32::from_le_bytes(raw[0..4].try_into().expect("fixed"));
-    let version = u16::from_le_bytes(raw[4..6].try_into().expect("fixed"));
+    let magic = wire::le_u32(raw, 0);
+    let version = wire::le_u16(raw, 4);
     if magic != NVRAM_MAGIC || version != NVRAM_VERSION {
         return None;
     }
-    let data_len = u32::from_le_bytes(raw[8..12].try_into().expect("fixed")) as usize;
-    let summary_len = u32::from_le_bytes(raw[12..16].try_into().expect("fixed")) as usize;
-    let checksum = u64::from_le_bytes(raw[16..24].try_into().expect("fixed"));
+    let data_len = wire::le_u32(raw, 8) as usize;
+    let summary_len = wire::le_u32(raw, 12) as usize;
+    let checksum = wire::le_u64(raw, 16);
     let body = raw.get(IMAGE_HEADER_LEN..IMAGE_HEADER_LEN + summary_len + data_len)?;
     if fnv1a64(body) != checksum {
         return None;

@@ -14,7 +14,7 @@
 //! header plus the record bodies; an invalid or torn summary fails
 //! validation and the whole segment is ignored at recovery.
 
-use ld_core::ListHints;
+use ld_core::{wire, ListHints};
 
 /// Magic number identifying a valid segment summary.
 const SUMMARY_MAGIC: u32 = 0x4C44_5353; // "LDSS"
@@ -365,16 +365,16 @@ pub fn decode_summary(data: &[u8]) -> Option<Summary> {
     if data.len() < SUMMARY_HEADER_LEN {
         return None;
     }
-    let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
-    let version = u16::from_le_bytes(data[4..6].try_into().unwrap());
+    let magic = wire::le_u32(data, 0);
+    let version = wire::le_u16(data, 4);
     if magic != SUMMARY_MAGIC || version != SUMMARY_VERSION || data[6] != 0 || data[7] != 0 {
         return None;
     }
-    let seq = u64::from_le_bytes(data[8..16].try_into().unwrap());
-    let base_ts = u64::from_le_bytes(data[16..24].try_into().unwrap());
-    let count = u32::from_le_bytes(data[24..28].try_into().unwrap());
-    let body_len = u32::from_le_bytes(data[28..32].try_into().unwrap()) as usize;
-    let checksum = u64::from_le_bytes(data[32..40].try_into().unwrap());
+    let seq = wire::le_u64(data, 8);
+    let base_ts = wire::le_u64(data, 16);
+    let count = wire::le_u32(data, 24);
+    let body_len = wire::le_u32(data, 28) as usize;
+    let checksum = wire::le_u64(data, 32);
     let body = data.get(SUMMARY_HEADER_LEN..SUMMARY_HEADER_LEN + body_len)?;
     let mut hashed = data[8..32].to_vec();
     hashed.extend_from_slice(body);

@@ -25,11 +25,11 @@ use crate::{checkpoint, dev, Layout, Lld, LldConfig};
 
 /// Owner sentinel for blocks reconstructed from a `WriteBlock`/`Link`
 /// record before their `NewBlock` record was replayed.
-const PROVISIONAL_LIST: u64 = u64::MAX;
+pub const PROVISIONAL_LIST: u64 = u64::MAX;
 
 /// Placeholder segment id for blocks whose data lives in the NVRAM image
 /// until it is materialized into a real segment.
-const NVRAM_SEG: u32 = u32::MAX - 3;
+pub const NVRAM_SEG: u32 = u32::MAX - 3;
 
 /// Opens an LLD from a device: checkpoint if valid, else recovery sweep.
 pub(crate) fn open<D: BlockDev>(mut disk: D, config: LldConfig) -> Result<Lld<D>> {
@@ -206,7 +206,7 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
         .collect();
     for bid in fix {
         let default = config.default_block_size as u32;
-        let e = map.get_mut(bid).expect("listed above");
+        let e = map.get_mut(bid).expect("listed above"); // PANIC-OK: the key comes from the snapshot being iterated
         e.size_class = e.logical_len.max(default);
     }
 
@@ -247,7 +247,7 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
     if !nvram_refs.is_empty() {
         let (summary_bytes, data) = nvram_image
             .as_ref()
-            .expect("NVRAM_SEG entries imply a decoded image");
+            .expect("NVRAM_SEG entries imply a decoded image"); // PANIC-OK: NVRAM_SEG entries exist only when the image decoded
         let target = usage
             .alloc_near(0)
             .ok_or_else(|| ld_core::LdError::Device("no free segment for NVRAM tail".into()))?;
@@ -259,7 +259,7 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
             .map_err(dev)?;
         let mut live_bytes = 0u64;
         for bid in nvram_refs {
-            let e = map.get_mut(bid).expect("listed above");
+            let e = map.get_mut(bid).expect("listed above"); // PANIC-OK: the key comes from the snapshot being iterated
             e.seg = target;
             live_bytes += u64::from(e.stored_len);
         }
@@ -352,7 +352,7 @@ fn apply(map: &mut BlockMap, lists: &mut ListTable, r: &SortRec) {
             if lists.get(lid).is_none() {
                 lists.install(lid, None, ld_core::ListHints::default());
             }
-            lists.get_mut(lid).expect("installed").first = first;
+            lists.get_mut(lid).expect("installed").first = first; // PANIC-OK: inserted a few lines up
         }
         Record::NewList { lid, pred, hints } => {
             lists.install(lid, pred, hints);
@@ -384,15 +384,15 @@ fn apply(map: &mut BlockMap, lists: &mut ListTable, r: &SortRec) {
             // Swap the physical fields; skip unless both blocks exist at
             // this point of the replay.
             if map.get(a).is_some() && map.get(b).is_some() {
-                let ea = *map.get(a).expect("checked");
-                let eb = *map.get(b).expect("checked");
-                let ma = map.get_mut(a).expect("checked");
+                let ea = *map.get(a).expect("checked"); // PANIC-OK: presence checked on the lines above
+                let eb = *map.get(b).expect("checked"); // PANIC-OK: presence checked on the lines above
+                let ma = map.get_mut(a).expect("checked"); // PANIC-OK: presence checked on the lines above
                 ma.seg = eb.seg;
                 ma.offset = eb.offset;
                 ma.stored_len = eb.stored_len;
                 ma.logical_len = eb.logical_len;
                 ma.compressed = eb.compressed;
-                let mb = map.get_mut(b).expect("checked");
+                let mb = map.get_mut(b).expect("checked"); // PANIC-OK: presence checked on the lines above
                 mb.seg = ea.seg;
                 mb.offset = ea.offset;
                 mb.stored_len = ea.stored_len;
@@ -409,5 +409,5 @@ fn ensure_block(map: &mut BlockMap, bid: u64) -> &mut BlockEntry {
         e.seg = NO_SEG;
         map.install(bid, e);
     }
-    map.get_mut(bid).expect("just installed")
+    map.get_mut(bid).expect("just installed") // PANIC-OK: inserted a few lines up
 }

@@ -353,9 +353,16 @@ proptest! {
             }
         }
 
-        // Crash and recover.
+        // Crash and recover. The raw post-crash image must already pass
+        // offline consistency checking (ldck mirrors the §3.6 sweep).
         let config = lld.config().clone();
         let disk = lld.into_disk();
+        let pre = ldck::check_image(&disk.image_bytes(), &config);
+        prop_assert!(
+            pre.is_clean(),
+            "post-crash image has errors: {:?}",
+            pre.findings
+        );
         let mut rec = Lld::open(disk, config).unwrap();
 
         if !sealed_after {
@@ -379,5 +386,15 @@ proptest! {
                 }
             }
         }
+
+        // The medium must also check clean after recovery ran (the sweep
+        // only rewrites the NVRAM tail, if any; the image stays valid).
+        let config = rec.config().clone();
+        let post = ldck::check_image(&rec.into_disk().image_bytes(), &config);
+        prop_assert!(
+            post.is_clean(),
+            "post-recovery image has errors: {:?}",
+            post.findings
+        );
     }
 }

@@ -22,6 +22,7 @@
 
 use std::collections::BTreeSet;
 
+use ld_core::wire;
 use simdisk::{BlockDev, DiskError, SECTOR_SIZE};
 
 /// Logical/physical block payload size.
@@ -168,12 +169,12 @@ impl<D: BlockDev> Loge<D> {
         for p in 0..phys_blocks {
             disk.read_sectors(u64::from(p) * SECTORS_PER_BLOCK, &mut header)
                 .map_err(io_err)?;
-            let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed"));
+            let magic = wire::le_u32(&header, 0);
             if magic != HEADER_MAGIC {
                 continue;
             }
-            let bid = u32::from_le_bytes(header[4..8].try_into().expect("fixed"));
-            let ts = u64::from_le_bytes(header[8..16].try_into().expect("fixed"));
+            let bid = wire::le_u32(&header, 4);
+            let ts = wire::le_u64(&header, 8);
             if (bid as usize) < table.len() && ts > best_ts[bid as usize] {
                 if table[bid as usize] != 0 {
                     used.remove(&(table[bid as usize] - 1));

@@ -6,6 +6,8 @@
 //! in the i-node, so that it can remember the list identifier for each
 //! file" (0 = the shared group).
 
+use fsutil::wire;
+
 use crate::error::{FsError, Result};
 use crate::store::Addr;
 
@@ -81,7 +83,7 @@ impl Inode {
     /// Decodes a 64-byte slot; `None` when the slot is free.
     pub fn decode(slot: &[u8]) -> Option<Self> {
         assert_eq!(slot.len(), INODE_SIZE);
-        let t = u16::from_le_bytes(slot[0..2].try_into().expect("fixed"));
+        let t = wire::le_u16(slot, 0);
         let ftype = match t {
             0 => return None,
             1 => FileType::Regular,
@@ -90,14 +92,14 @@ impl Inode {
         };
         let mut zones = [0; ZONES];
         for (i, z) in zones.iter_mut().enumerate() {
-            *z = u32::from_le_bytes(slot[16 + i * 4..20 + i * 4].try_into().expect("fixed"));
+            *z = wire::le_u32(slot, 16 + i * 4);
         }
         Some(Self {
             ftype,
-            nlinks: u16::from_le_bytes(slot[2..4].try_into().expect("fixed")),
-            size: u32::from_le_bytes(slot[4..8].try_into().expect("fixed")),
-            mtime: u32::from_le_bytes(slot[8..12].try_into().expect("fixed")),
-            group: u32::from_le_bytes(slot[12..16].try_into().expect("fixed")),
+            nlinks: wire::le_u16(slot, 2),
+            size: wire::le_u32(slot, 4),
+            mtime: wire::le_u32(slot, 8),
+            group: wire::le_u32(slot, 12),
             zones,
         })
     }

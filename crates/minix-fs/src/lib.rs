@@ -31,7 +31,7 @@ pub use store::{Addr, AllocHint, BlockStore};
 pub use superblock::SuperBlock;
 
 use fsutil::dirent::{self, Dirent, DIRENT_SIZE};
-use fsutil::{path, Bitmap, BufferCache, Evicted};
+use fsutil::{path, wire, Bitmap, BufferCache, Evicted};
 use inode::{zone_path, ZonePath, DIND, IND};
 
 /// An i-node number (1-based; 1 is the root directory).
@@ -279,7 +279,7 @@ impl<S: BlockStore> MinixFs<S> {
                 let container = self.sb.inode_containers[idx / ppc];
                 let index_block = self.load(container, bs)?;
                 let off = (idx % ppc) * 4;
-                let addr = u32::from_le_bytes(index_block[off..off + 4].try_into().expect("fixed"));
+                let addr = wire::le_u32(&index_block, off);
                 if addr == 0 {
                     return Err(FsError::NotFound);
                 }
@@ -971,7 +971,7 @@ fn nonzero(a: Addr) -> Option<Addr> {
 }
 
 fn read_u32(block: &[u8], i: usize) -> u32 {
-    u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().expect("fixed"))
+    wire::le_u32(block, i * 4)
 }
 
 fn write_u32(block: &mut [u8], i: usize, v: u32) {

@@ -1,5 +1,7 @@
 //! The file-system superblock, stored in the store's well-known block.
 
+use fsutil::wire;
+
 use crate::config::{InodeMode, ListMode};
 use crate::error::{FsError, Result};
 use crate::store::Addr;
@@ -57,21 +59,21 @@ impl SuperBlock {
         if data.len() < 20 {
             return Err(FsError::BadSuperblock);
         }
-        let magic = u32::from_le_bytes(data[0..4].try_into().expect("fixed"));
-        let version = u16::from_le_bytes(data[4..6].try_into().expect("fixed"));
+        let magic = wire::le_u32(data, 0);
+        let version = wire::le_u16(data, 4);
         if magic != MAGIC || version != VERSION {
             return Err(FsError::BadSuperblock);
         }
-        let flags = u16::from_le_bytes(data[6..8].try_into().expect("fixed"));
-        let ninodes = u32::from_le_bytes(data[8..12].try_into().expect("fixed"));
-        let nc = u32::from_le_bytes(data[12..16].try_into().expect("fixed")) as usize;
-        let nb = u32::from_le_bytes(data[16..20].try_into().expect("fixed")) as usize;
+        let flags = wire::le_u16(data, 6);
+        let ninodes = wire::le_u32(data, 8);
+        let nc = wire::le_u32(data, 12) as usize;
+        let nb = wire::le_u32(data, 16) as usize;
         let need = 20 + 4 * (nc + nb);
         if data.len() < need {
             return Err(FsError::BadSuperblock);
         }
         let mut read =
-            |i: usize| u32::from_le_bytes(data[20 + 4 * i..24 + 4 * i].try_into().expect("fixed"));
+            |i: usize| wire::le_u32(data, 20 + 4 * i);
         let inode_containers = (0..nc).map(&mut read).collect();
         let bitmap_blocks = (nc..nc + nb).map(&mut read).collect();
         Ok(Self {

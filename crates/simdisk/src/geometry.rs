@@ -60,7 +60,7 @@ impl Geometry {
         let per_cyl = u64::from(heads) * u64::from(sectors_per_track) * SECTOR_SIZE as u64;
         let cylinders = bytes.div_ceil(per_cyl).max(1);
         Self::new(
-            u32::try_from(cylinders).expect("capacity requires too many cylinders"),
+            u32::try_from(cylinders).expect("capacity requires too many cylinders"), // PANIC-OK: documented panic contract (see # Panics)
             heads,
             sectors_per_track,
         )

@@ -228,6 +228,13 @@ impl SimDisk {
         self.crash_after_writes = None;
     }
 
+    /// The raw disk image as one contiguous byte buffer. Out-of-band
+    /// analysis access (`ldck`): charges no simulated time, records no
+    /// stats, and works even while the device is down after a crash.
+    pub fn image_bytes(&self) -> Vec<u8> {
+        self.store.snapshot()
+    }
+
     /// Positions the head and clock for a transfer: charges per-command
     /// overhead, the seek, and the rotational wait for the first sector.
     fn position_for(&mut self, sector: u64) {
@@ -443,6 +450,12 @@ impl MemDisk {
     /// Creates a device with at least `bytes` capacity.
     pub fn with_capacity(bytes: u64) -> Self {
         Self::new(bytes.div_ceil(SECTOR_SIZE as u64))
+    }
+
+    /// The raw disk image as one contiguous byte buffer (see
+    /// [`SimDisk::image_bytes`]).
+    pub fn image_bytes(&self) -> Vec<u8> {
+        self.store.snapshot()
     }
 }
 

@@ -38,6 +38,22 @@ impl SparseStore {
         self.pages.iter().filter(|p| p.is_some()).count() * PAGE_BYTES
     }
 
+    /// Copies the entire sector array into one contiguous buffer
+    /// (`total_sectors * SECTOR_SIZE` bytes, unwritten sectors zero) — the
+    /// raw disk image, for offline analysis tools.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let total = self.total_sectors as usize * SECTOR_SIZE;
+        let mut out = vec![0u8; total];
+        for (i, page) in self.pages.iter().enumerate() {
+            if let Some(data) = page {
+                let start = i * PAGE_BYTES;
+                let end = (start + PAGE_BYTES).min(total);
+                out[start..end].copy_from_slice(&data[..end - start]);
+            }
+        }
+        out
+    }
+
     /// Reads one sector into `buf`.
     ///
     /// # Panics

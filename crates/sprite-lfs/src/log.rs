@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use fsutil::dirent::{self, DIRENT_SIZE};
+use fsutil::wire;
 use simdisk::{BlockDev, SECTOR_SIZE};
 
 use crate::fsops::{LfsError, Result};
@@ -119,7 +120,7 @@ impl Inode {
     }
 
     fn decode(slot: &[u8]) -> Option<Self> {
-        let t = u16::from_le_bytes(slot[0..2].try_into().expect("fixed"));
+        let t = wire::le_u16(slot, 0);
         let ftype = match t {
             1 => Ftype::Regular,
             2 => Ftype::Dir,
@@ -127,11 +128,11 @@ impl Inode {
         };
         let mut ptrs = [0u32; NDIRECT + 2];
         for (i, p) in ptrs.iter_mut().enumerate() {
-            *p = u32::from_le_bytes(slot[16 + 4 * i..20 + 4 * i].try_into().expect("fixed"));
+            *p = wire::le_u32(slot, 16 + 4 * i);
         }
         Some(Self {
             ftype,
-            size: u64::from_le_bytes(slot[8..16].try_into().expect("fixed")),
+            size: wire::le_u64(slot, 8),
             ptrs,
         })
     }
@@ -448,7 +449,7 @@ impl<D: BlockDev> SpriteLfs<D> {
                 })
                 .collect();
             for (ino, table) in keys {
-                let content = self.dirty_tables.remove(&(ino, table)).expect("listed");
+                let content = self.dirty_tables.remove(&(ino, table)).expect("listed"); // PANIC-OK: the key comes from the snapshot being iterated
                 let mut block = vec![0u8; BLOCK];
                 for (i, e) in content.iter().enumerate() {
                     block[4 * i..4 * i + 4].copy_from_slice(&e.to_le_bytes());
@@ -516,7 +517,7 @@ impl<D: BlockDev> SpriteLfs<D> {
             let inode = self.load_inode(ino)?;
             self.dirty_inodes.insert(ino, inode);
         }
-        Ok(self.dirty_inodes.get_mut(&ino).expect("just inserted"))
+        Ok(self.dirty_inodes.get_mut(&ino).expect("just inserted")) // PANIC-OK: inserted by the branch above
     }
 
     fn load_inode(&mut self, ino: u32) -> Result<Inode> {
@@ -560,7 +561,7 @@ impl<D: BlockDev> SpriteLfs<D> {
         let mut block = vec![0u8; BLOCK];
         self.read_phys(addr, &mut block)?;
         Ok((0..PPB)
-            .map(|i| u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("fixed")))
+            .map(|i| wire::le_u32(&block, 4 * i))
             .collect())
     }
 
@@ -805,22 +806,22 @@ impl<D: BlockDev> SpriteLfs<D> {
             let mut block = vec![0u8; BLOCK];
             disk.read_sectors(region * SECTORS_PER_BLOCK, &mut block)
                 .map_err(io_err)?;
-            if u32::from_le_bytes(block[0..4].try_into().expect("fixed")) != CKPT_MAGIC {
+            if wire::le_u32(&block, 0) != CKPT_MAGIC {
                 continue;
             }
-            let seq = u64::from_le_bytes(block[4..12].try_into().expect("fixed"));
-            let n = u32::from_le_bytes(block[12..16].try_into().expect("fixed")) as usize;
+            let seq = wire::le_u64(&block, 4);
+            let n = wire::le_u32(&block, 12) as usize;
             let end = 16 + 4 * n;
             if end + 8 > BLOCK {
                 continue;
             }
-            let sum = u64::from_le_bytes(block[end..end + 8].try_into().expect("fixed"));
+            let sum = wire::le_u64(&block, end);
             if fnv(&block[..end]) != sum {
                 continue;
             }
             let addrs: Vec<u32> = (0..n)
                 .map(|i| {
-                    u32::from_le_bytes(block[16 + 4 * i..20 + 4 * i].try_into().expect("fixed"))
+                    wire::le_u32(&block, 16 + 4 * i)
                 })
                 .collect();
             if best.as_ref().is_none_or(|(s, _)| seq > *s) {
@@ -861,7 +862,7 @@ impl<D: BlockDev> SpriteLfs<D> {
             let mut block = vec![0u8; BLOCK];
             lfs.read_phys(addr, &mut block)?;
             for i in 0..IMAP_PER_BLOCK {
-                let e = u32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("fixed"));
+                let e = wire::le_u32(&block, 4 * i);
                 if let Some(slot) = lfs.imap.get_mut(blk * IMAP_PER_BLOCK + i) {
                     *slot = e;
                 }
@@ -912,14 +913,14 @@ impl<D: BlockDev> SpriteLfs<D> {
         self.disk
             .read_sectors(u64::from(base) * SECTORS_PER_BLOCK, &mut body)
             .map_err(io_err)?;
-        let count = u32::from_le_bytes(body[4..8].try_into().expect("fixed")) as usize;
-        let nops = u32::from_le_bytes(body[16..20].try_into().expect("fixed")) as usize;
+        let count = wire::le_u32(&body, 4) as usize;
+        let nops = wire::le_u32(&body, 16) as usize;
         let mut pos = 20;
         let entries: Vec<(u8, u32, u32)> = (0..count)
             .map(|_| {
                 let kind = body[pos];
-                let a = u32::from_le_bytes(body[pos + 1..pos + 5].try_into().expect("fixed"));
-                let b = u32::from_le_bytes(body[pos + 5..pos + 9].try_into().expect("fixed"));
+                let a = wire::le_u32(&body, pos + 1);
+                let b = wire::le_u32(&body, pos + 5);
                 pos += 9;
                 (kind, a, b)
             })
@@ -927,7 +928,7 @@ impl<D: BlockDev> SpriteLfs<D> {
         let ops: Vec<(u8, u32)> = (0..nops)
             .map(|_| {
                 let op = body[pos];
-                let ino = u32::from_le_bytes(body[pos + 1..pos + 5].try_into().expect("fixed"));
+                let ino = wire::le_u32(&body, pos + 1);
                 pos += 5;
                 (op, ino)
             })
@@ -958,7 +959,7 @@ impl<D: BlockDev> SpriteLfs<D> {
                             // Which i-node is this? The i-map may already
                             // know; otherwise scan is ambiguous — encode the
                             // ino inside the image instead.
-                            let ino = u32::from_le_bytes(img[4..8].try_into().expect("fixed"));
+                            let ino = wire::le_u32(img, 4);
                             if (ino as usize) < self.imap.len() {
                                 self.imap[ino as usize] =
                                     addr * INODES_PER_BLOCK as u32 + slot as u32 + 1;
@@ -974,9 +975,7 @@ impl<D: BlockDev> SpriteLfs<D> {
                         let mut block = vec![0u8; BLOCK];
                         block.copy_from_slice(&body[(1 + i) * BLOCK..(2 + i) * BLOCK]);
                         for k in 0..IMAP_PER_BLOCK {
-                            let e = u32::from_le_bytes(
-                                block[4 * k..4 * k + 4].try_into().expect("fixed"),
-                            );
+                            let e = wire::le_u32(&block, 4 * k);
                             if let Some(slot) = self.imap.get_mut(blk * IMAP_PER_BLOCK + k) {
                                 *slot = e;
                             }
@@ -991,7 +990,7 @@ impl<D: BlockDev> SpriteLfs<D> {
                     let block = &body[(1 + i) * BLOCK..(2 + i) * BLOCK];
                     let content: Vec<u32> = (0..PPB)
                         .map(|k| {
-                            u32::from_le_bytes(block[4 * k..4 * k + 4].try_into().expect("fixed"))
+                            wire::le_u32(block, 4 * k)
                         })
                         .collect();
                     if self.imap.get(ino as usize).copied().unwrap_or(0) != 0
@@ -1093,12 +1092,12 @@ impl<D: BlockDev> SpriteLfs<D> {
             .read_sectors(u64::from(base) * SECTORS_PER_BLOCK, &mut body)
             .map_err(io_err)?;
         if summary_seq_if_valid(&body).is_some() {
-            let count = u32::from_le_bytes(body[4..8].try_into().expect("fixed")) as usize;
+            let count = wire::le_u32(&body, 4) as usize;
             let mut pos = 20;
             for i in 0..count {
                 let kind = body[pos];
-                let a = u32::from_le_bytes(body[pos + 1..pos + 5].try_into().expect("fixed"));
-                let b = u32::from_le_bytes(body[pos + 5..pos + 9].try_into().expect("fixed"));
+                let a = wire::le_u32(&body, pos + 1);
+                let b = wire::le_u32(&body, pos + 5);
                 pos += 9;
                 let addr = base + 1 + i as u32;
                 let payload = body[(1 + i) * BLOCK..(2 + i) * BLOCK].to_vec();
@@ -1145,9 +1144,7 @@ impl<D: BlockDev> SpriteLfs<D> {
                         if cur == Some(addr) {
                             let content: Vec<u32> = (0..PPB)
                                 .map(|k| {
-                                    u32::from_le_bytes(
-                                        payload[4 * k..4 * k + 4].try_into().expect("fixed"),
-                                    )
+                                    wire::le_u32(&payload, 4 * k)
                                 })
                                 .collect();
                             self.dirty_tables.insert((ino, table), content);
@@ -1213,21 +1210,17 @@ fn summary_seq_if_valid(body: &[u8]) -> Option<u64> {
     if body.len() < BLOCK {
         return None;
     }
-    if u32::from_le_bytes(body[0..4].try_into().expect("fixed")) != SUMMARY_MAGIC {
+    if wire::le_u32(body, 0) != SUMMARY_MAGIC {
         return None;
     }
-    let count = u32::from_le_bytes(body[4..8].try_into().expect("fixed")) as usize;
-    let seq = u64::from_le_bytes(body[8..16].try_into().expect("fixed"));
-    let nops = u32::from_le_bytes(body[16..20].try_into().expect("fixed")) as usize;
+    let count = wire::le_u32(body, 4) as usize;
+    let seq = wire::le_u64(body, 8);
+    let nops = wire::le_u32(body, 16) as usize;
     let summary_used = 20 + 9 * count + 5 * nops;
     if summary_used + 8 > BLOCK || (1 + count) * BLOCK > body.len() {
         return None;
     }
-    let stored = u64::from_le_bytes(
-        body[summary_used..summary_used + 8]
-            .try_into()
-            .expect("fixed"),
-    );
+    let stored = wire::le_u64(body, summary_used);
     let mut hashed = body[..summary_used].to_vec();
     hashed.extend_from_slice(&body[BLOCK..(1 + count) * BLOCK]);
     (fnv(&hashed) == stored).then_some(seq)

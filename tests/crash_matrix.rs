@@ -83,10 +83,17 @@ proptest! {
             }
         }
 
-        // Recover.
+        // Recover. Before mounting, the raw crashed image must pass the
+        // offline consistency check — the no-fsck claim, verified by fsck.
         let mut disk = fs.into_store().into_disk();
         disk.revive();
-        let store = LdStore::mount(disk, lld_config).expect("LD recovery must succeed");
+        let report = logical_disk_repro::ldck::check_image(&disk.image_bytes(), &lld_config);
+        prop_assert!(
+            report.is_clean(),
+            "crashed image has errors: {:?}",
+            report.findings
+        );
+        let store = LdStore::mount(disk, lld_config.clone()).expect("LD recovery must succeed");
         let mut fs = MinixFs::mount(store, fs_config).expect("mount must succeed");
 
         // Invariant 1: every directory entry resolves and reads fully.
@@ -122,5 +129,14 @@ proptest! {
         let ino = fs.create("/after-recovery").expect("create after recovery");
         fs.write(ino, 0, b"alive").expect("write after recovery");
         fs.sync().expect("sync after recovery");
+
+        // Invariant 4: the post-recovery medium checks clean too.
+        let disk = fs.into_store().into_disk();
+        let report = logical_disk_repro::ldck::check_image(&disk.image_bytes(), &lld_config);
+        prop_assert!(
+            report.is_clean(),
+            "post-recovery image has errors: {:?}",
+            report.findings
+        );
     }
 }
