@@ -3,9 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] <experiment>...
-//! repro [--quick] all
+//! repro [--quick] [--trace <file>] <experiment>...
+//! repro [--quick] [--trace <file>] all
 //! ```
+//!
+//! `--trace` writes structured JSONL event traces (see the `ld-trace`
+//! crate) for the traced experiments (`table4`, `table5`) and appends a
+//! per-layer disk-time attribution footnote under their tables. Render
+//! the file with `ldtrace <file>`. Tracing never changes the simulated
+//! timings — table cells are identical with and without it.
 //!
 //! Experiments: `calibrate` (E12), `table2` (E1), `table3` (E2), `table4`
 //! (E3), `table5` (E4), `table6` (E5), `recovery` (E6), `lists` (E7),
@@ -57,15 +63,43 @@ fn dispatch(name: &str, opts: Opts) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let opts = Opts { quick };
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
+            _ => {
+                eprintln!("--trace requires a file argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if let Some(path) = &trace {
+        // Start each invocation with a fresh file; experiments append.
+        if let Err(e) = std::fs::write(path, b"") {
+            eprintln!("cannot write trace file {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let opts = Opts { quick, trace };
+    let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
 
     if wanted.is_empty() || wanted.contains(&"help") {
-        eprintln!("usage: repro [--quick] <experiment>... | all");
+        eprintln!("usage: repro [--quick] [--trace <file>] <experiment>... | all");
         eprintln!("experiments: {}", ALL.join(" "));
         std::process::exit(if wanted.is_empty() { 2 } else { 0 });
     }
@@ -77,7 +111,7 @@ fn main() {
     };
 
     for (i, name) in list.iter().enumerate() {
-        match dispatch(name, opts) {
+        match dispatch(name, opts.clone()) {
             Some(out) => {
                 if i > 0 {
                     println!("\n{}\n", "=".repeat(72));

@@ -39,6 +39,11 @@ pub trait Bencher {
 
     /// Disk statistics snapshot.
     fn disk_stats(&self) -> DiskStats;
+
+    /// Attaches one event tracer to every layer of this stack (file
+    /// system, disk manager if any, simulated disk) so their events
+    /// interleave into a single timeline.
+    fn attach_tracer(&mut self, tracer: ld_trace::Tracer);
 }
 
 /// MINIX over the raw store, with disk-stat access.
@@ -49,7 +54,7 @@ pub struct MinixLld(pub MinixFs<minix_fs::LdStore<SimDisk>>);
 pub struct Sunos(pub Ffs<SimDisk>);
 
 macro_rules! delegate_minix {
-    ($t:ty, $label:expr) => {
+    ($t:ty, $label:expr, $attach:expr) => {
         impl Bencher for $t {
             fn label(&self) -> &'static str {
                 $label
@@ -81,12 +86,26 @@ macro_rules! delegate_minix {
             fn disk_stats(&self) -> DiskStats {
                 *self.0.store().disk().stats()
             }
+            fn attach_tracer(&mut self, tracer: ld_trace::Tracer) {
+                ($attach)(&mut self.0, tracer);
+            }
         }
     };
 }
 
-delegate_minix!(MinixRaw, "MINIX");
-delegate_minix!(MinixLld, "MINIX LLD");
+fn attach_raw(fs: &mut MinixFs<minix_fs::RawStore<SimDisk>>, t: ld_trace::Tracer) {
+    fs.store_mut().disk_mut().set_tracer(t.clone());
+    fs.set_tracer(t);
+}
+
+fn attach_lld(fs: &mut MinixFs<minix_fs::LdStore<SimDisk>>, t: ld_trace::Tracer) {
+    fs.store_mut().lld_mut().disk_mut().set_tracer(t.clone());
+    fs.store_mut().lld_mut().set_tracer(t.clone());
+    fs.set_tracer(t);
+}
+
+delegate_minix!(MinixRaw, "MINIX", attach_raw);
+delegate_minix!(MinixLld, "MINIX LLD", attach_lld);
 
 impl MinixRaw {
     /// Direct store access.
@@ -141,5 +160,10 @@ impl Bencher for Sunos {
 
     fn disk_stats(&self) -> DiskStats {
         *self.0.disk().stats()
+    }
+
+    fn attach_tracer(&mut self, tracer: ld_trace::Tracer) {
+        self.0.disk_mut().set_tracer(tracer.clone());
+        self.0.set_tracer(tracer);
     }
 }

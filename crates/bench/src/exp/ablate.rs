@@ -104,12 +104,12 @@ pub fn run(opts: super::Opts) -> String {
         "greedy".to_string(),
         format!("{amp_greedy:.2}x"),
         cleaned_greedy.to_string(),
-    ]);
+    ]).expect("row width");
     t1.row(vec![
         "cost-benefit".to_string(),
         format!("{amp_cb:.2}x"),
         cleaned_cb.to_string(),
-    ]);
+    ]).expect("row width");
 
     let mut t2 = Table::new(vec![
         "flush threshold",
@@ -124,7 +124,7 @@ pub fn run(opts: super::Opts) -> String {
             partials.to_string(),
             seals.to_string(),
             format!("{:.1}", sectors as f64 * 512.0 / (1 << 20) as f64),
-        ]);
+        ]).expect("row width");
     }
 
     format!(

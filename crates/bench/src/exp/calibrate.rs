@@ -58,17 +58,17 @@ pub fn run(_opts: super::Opts) -> String {
         "0.5 MB sequential writes (KB/s)".to_string(),
         "2400".to_string(),
         format!("{seg_kbs:.0}"),
-    ]);
+    ]).expect("row width");
     table.row(vec![
         "back-to-back 4 KB writes (KB/s)".to_string(),
         "~300".to_string(),
         format!("{small_kbs:.0}"),
-    ]);
+    ]).expect("row width");
     table.row(vec![
         "average seek (ms)".to_string(),
         "11.5".to_string(),
         format!("{avg_seek_ms:.1}"),
-    ]);
+    ]).expect("row width");
     format!(
         "E12: raw-disk calibration (HP C3010 model)\n\n{}",
         table.render()
@@ -79,7 +79,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn calibration_matches_paper_anchors() {
-        let out = super::run(super::super::Opts { quick: true });
+        let out = super::run(super::super::Opts { quick: true, trace: None });
         assert!(out.contains("2400"));
         // Extract the simulated segment throughput and check the band.
         let line = out

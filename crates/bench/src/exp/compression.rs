@@ -71,17 +71,17 @@ pub fn run(opts: super::Opts) -> String {
         "no compression".to_string(),
         format!("{w_plain:.0}"),
         format!("{r_plain:.0}"),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "compression".to_string(),
         format!("{w_comp:.0}"),
         format!("{r_comp:.0}"),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "paper (compression)".to_string(),
         "1600".to_string(),
         "800".to_string(),
-    ]);
+    ]).expect("row width");
     format!(
         "E10: transparent compression, {} MB sequential file\n\
          (measured compression ratio: {:.0}% of original;\n\

@@ -47,7 +47,11 @@ fn measure_reads(
         ld.read(bids[spread_idx], &mut buf).expect("read");
     }
     let elapsed = ld.disk().now_us() - t0;
-    let stats = ld.disk().stats().delta_since(&stats0);
+    let stats = ld
+        .disk()
+        .stats()
+        .delta_since(&stats0)
+        .expect("same-phase snapshot");
     let hot_set: std::collections::HashSet<_> = (0..hot)
         .map(|i| (i * (bids.len() / hot).max(1)) % bids.len())
         .filter_map(|i| ld.block_segment(bids[i]))
@@ -97,13 +101,13 @@ pub fn run(opts: super::Opts) -> String {
         format!("{:.2}", before.avg_read_us / 1000.0),
         format!("{:.2}", before.avg_seek_us / 1000.0),
         before.hot_segments.to_string(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "after rearrangement".to_string(),
         format!("{:.2}", after.avg_read_us / 1000.0),
         format!("{:.2}", after.avg_seek_us / 1000.0),
         after.hot_segments.to_string(),
-    ]);
+    ]).expect("row width");
     format!(
         "E15: adaptive block rearrangement — {} blocks, 90/10 skewed reads,\n\
          {} hot blocks collected by reorganize_hot ({moved} moved)\n\

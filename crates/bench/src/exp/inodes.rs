@@ -42,18 +42,18 @@ pub fn run(opts: super::Opts) -> String {
     let rp = small_file(&mut packed, n, 1 << 10);
     t.row(vec![
         "packed i-node blocks".to_string(),
-        format!("{:.0}", rp.create_per_s),
-        format!("{:.0}", rp.read_per_s),
-        format!("{:.0}", rp.delete_per_s),
-    ]);
+        crate::report::rate(rp.create_per_s),
+        crate::report::rate(rp.read_per_s),
+        crate::report::rate(rp.delete_per_s),
+    ]).expect("row width");
     let mut small = build(disk_bytes, InodeMode::SmallBlocks);
     let rs = small_file(&mut small, n, 1 << 10);
     t.row(vec![
         "64-byte i-node blocks".to_string(),
-        format!("{:.0}", rs.create_per_s),
-        format!("{:.0}", rs.read_per_s),
-        format!("{:.0}", rs.delete_per_s),
-    ]);
+        crate::report::rate(rs.create_per_s),
+        crate::report::rate(rs.read_per_s),
+        crate::report::rate(rs.delete_per_s),
+    ]).expect("row width");
     out.push_str(&format!("{n} x 1 KB files\n{}\n", t.render()));
 
     let mut t = Table::new(vec!["variant", "seq write KB/s", "seq read KB/s"]);
@@ -61,16 +61,16 @@ pub fn run(opts: super::Opts) -> String {
     let lp = large_file(&mut packed, file_mb << 20, 8192);
     t.row(vec![
         "packed i-node blocks".to_string(),
-        format!("{:.0}", lp.write_seq),
-        format!("{:.0}", lp.read_seq),
-    ]);
+        crate::report::rate(lp.write_seq),
+        crate::report::rate(lp.read_seq),
+    ]).expect("row width");
     let mut small = build(disk_bytes, InodeMode::SmallBlocks);
     let ls = large_file(&mut small, file_mb << 20, 8192);
     t.row(vec![
         "64-byte i-node blocks".to_string(),
-        format!("{:.0}", ls.write_seq),
-        format!("{:.0}", ls.read_seq),
-    ]);
+        crate::report::rate(ls.write_seq),
+        crate::report::rate(ls.read_seq),
+    ]).expect("row width");
     out.push_str(&format!("{file_mb} MB large file\n{}", t.render()));
     out
 }

@@ -43,22 +43,22 @@ pub fn run(opts: super::Opts) -> String {
     ]);
     t.row(vec![
         "create".to_string(),
-        format!("{:.0}", with.0),
-        format!("{:.0}", without.0),
+        crate::report::rate(with.0),
+        crate::report::rate(without.0),
         format!("{:.1}%", overhead(with.0, without.0)),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "read".to_string(),
-        format!("{:.0}", with.1),
-        format!("{:.0}", without.1),
+        crate::report::rate(with.1),
+        crate::report::rate(without.1),
         format!("{:.1}%", overhead(with.1, without.1)),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "delete".to_string(),
-        format!("{:.0}", with.2),
-        format!("{:.0}", without.2),
+        crate::report::rate(with.2),
+        crate::report::rate(without.2),
         format!("{:.1}%", overhead(with.2, without.2)),
-    ]);
+    ]).expect("row width");
     format!(
         "E7: list-maintenance overhead ({} x 1 KB files)\n\
          (paper: ~15% during create/delete, little overhead during reads/writes)\n\n{}",

@@ -87,17 +87,17 @@ pub fn run(opts: super::Opts) -> String {
         "update-in-place".to_string(),
         format!("{inplace_kbs:.0}"),
         "-".to_string(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "Loge".to_string(),
         format!("{loge_kbs:.0}"),
         secs(loge_rec_us),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "LLD".to_string(),
         format!("{lld_kbs:.0}"),
         secs(lld_rec_us),
-    ]);
+    ]).expect("row width");
     format!(
         "E11: Loge comparison ({} MB disk, {} random block writes)\n\
          (paper §5.2: both beat update-in-place on write streams; LLD recovery\n\
@@ -114,7 +114,7 @@ pub fn run(opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn loge_relations_hold_quick() {
-        let out = super::run(super::super::Opts { quick: true });
+        let out = super::run(super::super::Opts { quick: true, trace: None });
         // Extract the recovery ratio line.
         let line = out
             .lines()

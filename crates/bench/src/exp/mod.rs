@@ -20,8 +20,11 @@ pub mod table5;
 pub mod table6;
 
 /// Global experiment options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct Opts {
     /// Scale down the workloads (~10×) for a fast smoke run.
     pub quick: bool,
+    /// Append structured trace output (JSONL) for traced experiments to
+    /// this file; `None` disables tracing entirely (the default).
+    pub trace: Option<std::path::PathBuf>,
 }

@@ -90,8 +90,8 @@ pub fn run(opts: super::Opts) -> String {
                 "{:+.0}%",
                 100.0 * (r.disk_ops as f64 - base_ops as f64) / base_ops as f64
             ),
-            format!("{:.0}", r.files_per_s),
-        ]);
+            crate::report::rate(r.files_per_s),
+        ]).expect("row width");
     }
     format!(
         "E14: NVRAM extension — {} files, fsync after every file\n\

@@ -65,17 +65,17 @@ pub fn run(opts: super::Opts) -> String {
         "segment summaries read".to_string(),
         "788".to_string(),
         lld_stats.recovery_summaries_read.to_string(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "LD sweep time (s)".to_string(),
         "-".to_string(),
         secs(lld_stats.recovery_us),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "LD + MINIX total (s)".to_string(),
         "12".to_string(),
         secs(total_us),
-    ]);
+    ]).expect("row width");
     format!(
         "E6: recovery after failure ({} MB partition, {} files loaded)\n\n{}",
         disk_bytes >> 20,
@@ -88,7 +88,7 @@ pub fn run(opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn recovery_runs_and_reads_only_summaries() {
-        let out = super::run(super::super::Opts { quick: true });
+        let out = super::run(super::super::Opts { quick: true, trace: None });
         assert!(out.contains("segment summaries read"));
     }
 }

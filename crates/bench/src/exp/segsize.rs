@@ -49,7 +49,7 @@ pub fn run(opts: super::Opts) -> String {
             format!("{kb} KB"),
             format!("{kbs:.0}"),
             format!("{:+.0}%", 100.0 * (kbs - base) / base),
-        ]);
+        ]).expect("row width");
     }
     format!(
         "E8: segment-size sweep, sequential write of {} MB\n\

@@ -43,22 +43,22 @@ pub fn run(_opts: super::Opts) -> String {
         "Block-number map".to_string(),
         mb(single.block_map_bytes),
         mb(comp.block_map_bytes),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "List table".to_string(),
         mb(single.list_table_bytes),
         mb(comp.list_table_bytes),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "Segment usage table".to_string(),
         mb(single.usage_table_bytes),
         mb(comp.usage_table_bytes),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "Total".to_string(),
         mb(single.total_bytes()),
         mb(comp.total_bytes()),
-    ]);
+    ]).expect("row width");
 
     // Live cross-check: bill an actual populated instance with the same
     // per-entry costs and verify the per-block rate matches the model.
@@ -89,7 +89,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn table2_reproduces_paper_cells() {
-        let out = super::run(super::super::Opts { quick: true });
+        let out = super::run(super::super::Opts { quick: true, trace: None });
         assert!(out.contains("1.5 Mbyte"), "block map col 1:\n{out}");
         assert!(
             out.contains("3.8 Mbyte") || out.contains("3.7 Mbyte"),

@@ -38,12 +38,12 @@ pub fn run(_opts: super::Opts) -> String {
         "$30".to_string(),
         cell(30.0, 750.0),
         cell(30.0, 1500.0),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "$50".to_string(),
         cell(50.0, 750.0),
         cell(50.0, 1500.0),
-    ]);
+    ]).expect("row width");
 
     format!(
         "E2: Table 3 — % cost LLD adds to a disk (best case or worst case)\n\
@@ -56,7 +56,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn table3_reproduces_paper_cells() {
-        let out = super::run(super::super::Opts { quick: true });
+        let out = super::run(super::super::Opts { quick: true, trace: None });
         // Paper cells: $30+$750 → 6%/18%; $50+$750 → 10%/31%;
         // $30+$1500 → 3%/9%; $50+$1500 → 5%/15%.
         assert!(out.contains("6% or 18%"), "{out}");

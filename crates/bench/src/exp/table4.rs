@@ -17,9 +17,9 @@ use crate::rig;
 
 fn fmt(r: &SmallFileResult) -> [String; 3] {
     [
-        format!("{:.0}", r.create_per_s),
-        format!("{:.0}", r.read_per_s),
-        format!("{:.0}", r.delete_per_s),
+        crate::report::rate(r.create_per_s),
+        crate::report::rate(r.read_per_s),
+        crate::report::rate(r.delete_per_s),
     ]
 }
 
@@ -39,8 +39,11 @@ pub fn run(opts: super::Opts) -> String {
         (n_big, 10 << 10, "10-Kbyte files"),
     ] {
         let mut t = Table::new(vec!["File system", "C", "R", "D"]);
+        let mut footnotes = String::new();
+        let exp = format!("table4/{label}");
 
         let mut fs = MinixLld(rig::minix_lld(disk_bytes));
+        let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
         let c = fmt(&r);
         t.row(vec![
@@ -48,9 +51,11 @@ pub fn run(opts: super::Opts) -> String {
             c[0].clone(),
             c[1].clone(),
             c[2].clone(),
-        ]);
+        ]).expect("row width");
+        footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, &exp));
 
         let mut fs = MinixRaw(rig::minix(disk_bytes));
+        let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
         let c = fmt(&r);
         t.row(vec![
@@ -58,9 +63,11 @@ pub fn run(opts: super::Opts) -> String {
             c[0].clone(),
             c[1].clone(),
             c[2].clone(),
-        ]);
+        ]).expect("row width");
+        footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, &exp));
 
         let mut fs = Sunos(rig::sunos(disk_bytes));
+        let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
         let c = fmt(&r);
         t.row(vec![
@@ -68,9 +75,14 @@ pub fn run(opts: super::Opts) -> String {
             c[0].clone(),
             c[1].clone(),
             c[2].clone(),
-        ]);
+        ]).expect("row width");
+        footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, &exp));
 
-        out.push_str(&format!("{n} x {label}\n{}\n", t.render()));
+        out.push_str(&format!("{n} x {label}\n{}", t.render()));
+        if !footnotes.is_empty() {
+            out.push_str(&format!("where the disk time went:\n{footnotes}"));
+        }
+        out.push('\n');
     }
     out
 }

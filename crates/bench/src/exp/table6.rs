@@ -244,28 +244,28 @@ pub fn run(opts: super::Opts) -> String {
         "Sprite LFS (blocks/op)",
         "MINIX LLD (blocks/op)",
     ]);
-    t.row(vec!["create".to_string(), create.fmt(), m_create.fmt()]);
-    t.row(vec!["delete".to_string(), delete.fmt(), m_delete.fmt()]);
+    t.row(vec!["create".to_string(), create.fmt(), m_create.fmt()]).expect("row width");
+    t.row(vec!["delete".to_string(), delete.fmt(), m_delete.fmt()]).expect("row width");
     t.row(vec![
         "overwrite, direct".to_string(),
         ow_direct.fmt(),
         m_ow_direct.fmt(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "overwrite, indirect".to_string(),
         ow_ind.fmt(),
         m_ow_ind.fmt(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "overwrite, dbl-indirect".to_string(),
         ow_dind.fmt(),
         m_ow_dind.fmt(),
-    ]);
+    ]).expect("row width");
     t.row(vec![
         "append, indirect range".to_string(),
         append.fmt(),
         m_append.fmt(),
-    ]);
+    ]).expect("row width");
 
     format!(
         "E5: Table 6 — measured blocks written per operation\n\

@@ -13,4 +13,5 @@ pub mod driver;
 pub mod exp;
 pub mod report;
 pub mod rig;
+pub mod tracectl;
 pub mod workload;

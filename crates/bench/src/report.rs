@@ -1,5 +1,29 @@
 //! Plain-text table rendering for experiment output.
 
+/// Errors from building a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// A row's cell count did not match the header width.
+    RowWidthMismatch {
+        /// Header width.
+        expected: usize,
+        /// Cells supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::RowWidthMismatch { expected, got } => {
+                write!(f, "row width mismatch: expected {expected} cells, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// A simple aligned table builder.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -16,15 +40,21 @@ impl Table {
         }
     }
 
-    /// Adds a row (must match the header width).
-    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+    /// Adds a row; errors if the cell count does not match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> Result<&mut Self, TableError> {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        if cells.len() != self.header.len() {
+            return Err(TableError::RowWidthMismatch {
+                expected: self.header.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells);
-        self
+        Ok(self)
     }
 
-    /// Renders with aligned columns.
+    /// Renders with aligned columns. A zero-column table renders as an
+    /// empty header and separator rather than failing.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
         let mut width = vec![0usize; ncols];
@@ -54,7 +84,7 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &width));
         out.push('\n');
-        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * ncols.saturating_sub(1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &width));
@@ -69,20 +99,32 @@ pub fn secs(us: u64) -> String {
     format!("{:.2}", us as f64 / 1e6)
 }
 
-/// Computes KB/s from bytes moved in a simulated interval.
+/// Computes KB/s from bytes moved in a simulated interval. A zero-length
+/// interval has no meaningful rate and yields NaN ([`rate`] renders it
+/// as `-`), distinct from a measured rate of zero.
 pub fn kb_per_s(bytes: u64, us: u64) -> f64 {
     if us == 0 {
-        return 0.0;
+        return f64::NAN;
     }
     (bytes as f64 / 1024.0) / (us as f64 / 1e6)
 }
 
-/// Computes operations/second.
+/// Computes operations/second; NaN when no time elapsed (see [`kb_per_s`]).
 pub fn ops_per_s(ops: u64, us: u64) -> f64 {
     if us == 0 {
-        return 0.0;
+        return f64::NAN;
     }
     ops as f64 / (us as f64 / 1e6)
+}
+
+/// Formats a rate for a table cell: whole number, or `-` when the rate
+/// is undefined (NaN from a zero-length measurement interval).
+pub fn rate(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.0}")
+    }
 }
 
 #[cfg(test)]
@@ -92,8 +134,8 @@ mod tests {
     #[test]
     fn table_renders_aligned() {
         let mut t = Table::new(vec!["name", "v1", "v2"]);
-        t.row(vec!["alpha", "1", "22"]);
-        t.row(vec!["b", "333", "4"]);
+        t.row(vec!["alpha", "1", "22"]).unwrap();
+        t.row(vec!["b", "333", "4"]).unwrap();
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -110,10 +152,43 @@ mod tests {
         assert!((ops_per_s(500, 2_000_000) - 250.0).abs() < 1e-9);
     }
 
+    // Regression: `row` used to assert on width mismatch, panicking deep
+    // inside experiment code instead of surfacing a typed error.
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn width_mismatch_panics() {
+    fn width_mismatch_is_an_error_not_a_panic() {
         let mut t = Table::new(vec!["a", "b"]);
-        t.row(vec!["only-one"]);
+        let err = t.row(vec!["only-one"]).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RowWidthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("expected 2"));
+        // The bad row must not have been recorded.
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    // Regression: `render` used to compute `2 * (ncols - 1)` with usize
+    // arithmetic, underflowing (and panicking in debug) on a table with
+    // no columns.
+    #[test]
+    fn zero_column_table_renders() {
+        let t = Table::new(Vec::<String>::new());
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+    }
+
+    // Regression: a zero-length interval used to report a rate of 0.0,
+    // indistinguishable from a genuinely zero rate.
+    #[test]
+    fn zero_interval_rate_is_undefined_not_zero() {
+        assert!(kb_per_s(4096, 0).is_nan());
+        assert!(ops_per_s(17, 0).is_nan());
+        assert_eq!(rate(kb_per_s(4096, 0)), "-");
+        assert_eq!(rate(250.0), "250");
+        // A measured zero rate still renders as a number.
+        assert_eq!(rate(ops_per_s(0, 1_000_000)), "0");
     }
 }

@@ -1,0 +1,77 @@
+//! Optional structured tracing for experiment runs (`repro --trace`).
+//!
+//! When [`Opts::trace`](crate::exp::Opts) names a file, traced experiments
+//! attach one [`ld_trace::Tracer`] to every layer of each file-system
+//! stack, cross-check the tracer's per-layer time attribution against the
+//! disk's own counters (they must agree to the microsecond), append the
+//! run's events to the trace file as JSONL, and return a footnote line
+//! for the rendered table.
+
+use crate::driver::Bencher;
+use crate::exp::Opts;
+use std::io::Write;
+
+/// A tracer attached to one file-system run, plus the disk-stat snapshot
+/// taken at attach time (the baseline the attribution must reconcile
+/// against).
+pub struct TraceRun {
+    tracer: ld_trace::Tracer,
+    stats0: simdisk::DiskStats,
+}
+
+/// Ring capacity for experiment traces: large enough to keep a useful
+/// timeline tail, small enough to stay O(MB) for a full table run.
+const RING_CAPACITY: usize = 65_536;
+
+/// Attaches a fresh tracer to `fs` when tracing is enabled; `None`
+/// otherwise (the entire mechanism then costs nothing).
+pub fn maybe_attach(fs: &mut impl Bencher, opts: &Opts) -> Option<TraceRun> {
+    opts.trace.as_ref()?;
+    let tracer = ld_trace::Tracer::new(RING_CAPACITY);
+    let stats0 = fs.disk_stats();
+    fs.attach_tracer(tracer.clone());
+    Some(TraceRun { tracer, stats0 })
+}
+
+/// Finishes a traced run: verifies the attribution identity, appends the
+/// events to the trace file under a `{"meta":"run",...}` header, and
+/// returns the footnote line for the table. Returns an empty string when
+/// tracing is off.
+pub fn finish(run: Option<TraceRun>, fs: &impl Bencher, opts: &Opts, exp: &str) -> String {
+    let Some(run) = run else {
+        return String::new();
+    };
+    let Some(path) = opts.trace.as_ref() else {
+        return String::new();
+    };
+    let attr = run.tracer.attribution();
+    let busy = fs
+        .disk_stats()
+        .delta_since(&run.stats0)
+        .map(|d| d.busy_us());
+    // The tracer saw every microsecond the disk charged since attach; a
+    // mismatch means an instrumentation hole, which we surface loudly
+    // rather than publish a wrong attribution table.
+    assert_eq!(
+        Some(attr.busy_us()),
+        busy,
+        "{exp}/{}: trace attribution {} us != disk busy delta {busy:?}",
+        fs.label(),
+        attr.busy_us(),
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open trace file");
+    writeln!(
+        f,
+        "{{\"meta\":\"run\",\"exp\":\"{exp}\",\"fs\":\"{}\"}}",
+        fs.label()
+    )
+    .expect("write trace header");
+    run.tracer
+        .export_jsonl(&mut f, Some(attr.busy_us()))
+        .expect("write trace events");
+    format!("  [{}: {}]\n", fs.label(), attr.footnote())
+}

@@ -192,6 +192,9 @@ pub struct Ffs<D: BlockDev> {
     next_dir_cg: u32,
     last_read: Option<(Ino, u64)>,
     stats: FfsStats,
+    /// Optional event tracer; operations emit [`ld_trace::Event::FsOp`]
+    /// spans when attached.
+    tracer: Option<ld_trace::Tracer>,
 }
 
 impl<D: BlockDev> Ffs<D> {
@@ -227,6 +230,7 @@ impl<D: BlockDev> Ffs<D> {
             next_dir_cg: 0,
             last_read: None,
             stats: FfsStats::default(),
+            tracer: None,
         };
         // Root directory: i-node 1 lives in group 0.
         let root = fs.alloc_inode_in(0, FileType::Dir)?;
@@ -258,6 +262,41 @@ impl<D: BlockDev> Ffs<D> {
     /// Simulated time.
     pub fn now_us(&self) -> u64 {
         self.disk.now_us()
+    }
+
+    /// Attaches an event tracer: every public operation then records an
+    /// [`ld_trace::Event::FsOp`] latency span. Attach the same tracer to
+    /// the underlying disk to interleave mechanical events into one
+    /// timeline. Tracing never advances the simulated clock.
+    pub fn set_tracer(&mut self, tracer: ld_trace::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer, if any.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Span start: the current simulated time, only if tracing.
+    #[inline]
+    fn trace_start(&self) -> Option<u64> {
+        self.tracer.as_ref().map(|_| self.disk.now_us())
+    }
+
+    /// Span end: records the completed operation, no-op untraced.
+    #[inline]
+    fn trace_op(&self, op: ld_trace::FsOpKind, start: Option<u64>) {
+        if let (Some(t), Some(start_us)) = (&self.tracer, start) {
+            let end = self.disk.now_us();
+            t.record(
+                end,
+                ld_trace::Event::FsOp {
+                    op,
+                    start_us,
+                    us: end - start_us,
+                },
+            );
+        }
     }
 
     fn mtime(&self) -> u32 {
@@ -662,6 +701,13 @@ impl<D: BlockDev> Ffs<D> {
 
     /// Resolves a path.
     pub fn lookup(&mut self, p: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.lookup_inner(p);
+        self.trace_op(ld_trace::FsOpKind::Lookup, t0);
+        r
+    }
+
+    fn lookup_inner(&mut self, p: &str) -> Result<Ino> {
         let comps = path::split(p)?;
         let mut cur = ROOT_INO;
         for c in comps {
@@ -691,6 +737,13 @@ impl<D: BlockDev> Ffs<D> {
 
     /// Creates an empty regular file (synchronous metadata).
     pub fn create(&mut self, p: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.create_inner(p);
+        self.trace_op(ld_trace::FsOpKind::Create, t0);
+        r
+    }
+
+    fn create_inner(&mut self, p: &str) -> Result<Ino> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(p)?;
         let mut dir = self.read_inode(parent)?;
@@ -713,6 +766,13 @@ impl<D: BlockDev> Ffs<D> {
     /// Creates a directory (synchronous metadata). Directories are spread
     /// round-robin across groups (the FFS dispersal policy).
     pub fn mkdir(&mut self, p: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.mkdir_inner(p);
+        self.trace_op(ld_trace::FsOpKind::Mkdir, t0);
+        r
+    }
+
+    fn mkdir_inner(&mut self, p: &str) -> Result<Ino> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(p)?;
         let mut dir = self.read_inode(parent)?;
@@ -735,6 +795,13 @@ impl<D: BlockDev> Ffs<D> {
 
     /// Writes at `offset` (delayed writes with clustering).
     pub fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.write_inner(ino, offset, data);
+        self.trace_op(ld_trace::FsOpKind::Write, t0);
+        r
+    }
+
+    fn write_inner(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
         self.charge_call();
         let mut inode = self.read_inode(ino)?;
         if inode.ftype != FileType::Regular {
@@ -774,6 +841,13 @@ impl<D: BlockDev> Ffs<D> {
     /// Reads at `offset`; returns bytes read. Sequential reads trigger
     /// cluster read-ahead.
     pub fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let t0 = self.trace_start();
+        let r = self.read_inner(ino, offset, buf);
+        self.trace_op(ld_trace::FsOpKind::Read, t0);
+        r
+    }
+
+    fn read_inner(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
         self.charge_call();
         let inode = self.read_inode(ino)?;
         let bs = self.config.block_size as u64;
@@ -822,6 +896,13 @@ impl<D: BlockDev> Ffs<D> {
 
     /// Removes a file (synchronous metadata).
     pub fn unlink(&mut self, p: &str) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.unlink_inner(p);
+        self.trace_op(ld_trace::FsOpKind::Unlink, t0);
+        r
+    }
+
+    fn unlink_inner(&mut self, p: &str) -> Result<()> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(p)?;
         let mut dir = self.read_inode(parent)?;
@@ -876,6 +957,13 @@ impl<D: BlockDev> Ffs<D> {
 
     /// Flushes all dirty state.
     pub fn sync(&mut self) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.sync_inner();
+        self.trace_op(ld_trace::FsOpKind::Sync, t0);
+        r
+    }
+
+    fn sync_inner(&mut self) -> Result<()> {
         self.charge_call();
         let dirty = self.cache.take_dirty();
         self.flush_blocks(dirty)?;

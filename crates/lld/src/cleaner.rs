@@ -42,8 +42,14 @@ impl<D: BlockDev> Lld<D> {
     pub(crate) fn clean_to_reserve(&mut self) -> Result<()> {
         debug_assert!(!self.cleaning);
         self.cleaning = true;
+        let cleaned0 = self.stats.segments_cleaned;
+        let copied0 = self.stats.cleaner_bytes_copied;
         let result = self.clean_to_reserve_inner();
         self.cleaning = false;
+        self.trace(ld_trace::Event::CleanerPass {
+            reclaimed: self.stats.segments_cleaned - cleaned0,
+            bytes_copied: self.stats.cleaner_bytes_copied - copied0,
+        });
         result
     }
 
@@ -89,6 +95,8 @@ impl<D: BlockDev> Lld<D> {
     pub fn clean(&mut self, max_segments: u32) -> Result<u32> {
         self.check_up()?;
         self.cleaning = true;
+        let cleaned0 = self.stats.segments_cleaned;
+        let copied0 = self.stats.cleaner_bytes_copied;
         let mut cleaned = 0;
         let result = (|| {
             for _ in 0..max_segments {
@@ -110,6 +118,10 @@ impl<D: BlockDev> Lld<D> {
             Ok(())
         })();
         self.cleaning = false;
+        self.trace(ld_trace::Event::CleanerPass {
+            reclaimed: self.stats.segments_cleaned - cleaned0,
+            bytes_copied: self.stats.cleaner_bytes_copied - copied0,
+        });
         result.map(|()| cleaned)
     }
 

@@ -140,6 +140,8 @@ pub struct Lld<D: BlockDev> {
     /// [`reorganize_hot`](Self::reorganize_hot) so estimates age out.
     pub(crate) heat: Vec<u32>,
     pub(crate) stats: LldStats,
+    /// Optional event tracer; `None` costs one branch per traced site.
+    pub(crate) tracer: Option<ld_trace::Tracer>,
 }
 
 impl<D: BlockDev> std::fmt::Debug for Lld<D> {
@@ -235,6 +237,7 @@ impl<D: BlockDev> Lld<D> {
             dirty: false,
             heat: Vec::new(),
             stats: LldStats::default(),
+            tracer: None,
         }
     }
 
@@ -246,6 +249,39 @@ impl<D: BlockDev> Lld<D> {
     /// Resets the statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats = LldStats::default();
+    }
+
+    /// Attaches an event tracer for LLD-level events (segment seals,
+    /// partial writes, cleaner passes). Attach the *same* tracer to the
+    /// underlying disk ([`simdisk::SimDisk::set_tracer`]) to interleave
+    /// mechanical events into one timeline. If this LLD was just opened
+    /// via a recovery sweep, the sweep is recorded retroactively so the
+    /// trace is self-describing. Tracing never touches the simulated
+    /// clock.
+    pub fn set_tracer(&mut self, tracer: ld_trace::Tracer) {
+        if self.stats.recovery_us > 0 && !self.stats.recovered_from_checkpoint {
+            tracer.record(
+                self.disk.now_us(),
+                ld_trace::Event::RecoverySweep {
+                    summaries: self.stats.recovery_summaries_read,
+                    us: self.stats.recovery_us,
+                },
+            );
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer, if any.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Records `event` at the current simulated time (no-op untraced).
+    #[inline]
+    pub(crate) fn trace(&self, event: ld_trace::Event) {
+        if let Some(t) = &self.tracer {
+            t.record(self.disk.now_us(), event);
+        }
     }
 
     /// The active configuration.
@@ -500,12 +536,19 @@ impl<D: BlockDev> Lld<D> {
             .alloc_near(self.last_seg_hint)
             .ok_or(LdError::NoSpace)?;
         let seq = self.next_seq();
+        let fill_bytes = self.open.data_used() as u64;
         let bytes = self.open.encode_full(seq);
         let t0 = self.disk.now_us();
         self.disk
             .write_sectors(self.layout.segment_base(seg), &bytes)
             .map_err(dev)?;
         let write_us = self.disk.now_us() - t0;
+        self.trace(ld_trace::Event::SegmentSeal {
+            seg,
+            write_seq: seq,
+            fill_bytes,
+            cap_bytes: self.layout.data_bytes as u64,
+        });
         // Compression pipeline (§3.3): this segment's compression CPU
         // overlapped the previous write; in steady state each segment costs
         // max(compress, write).
@@ -555,6 +598,7 @@ impl<D: BlockDev> Lld<D> {
             .ok_or(LdError::NoSpace)?;
         self.usage.mark_scratch(seg);
         let seq = self.next_seq();
+        let flushed_bytes = self.open.data_used() as u64;
         let (prefix, summary) = self.open.encode_partial(seq);
         let t0 = self.disk.now_us();
         if !prefix.is_empty() {
@@ -578,6 +622,10 @@ impl<D: BlockDev> Lld<D> {
         }
         self.dirty = false;
         self.stats.partial_segment_writes += 1;
+        self.trace(ld_trace::Event::PartialWrite {
+            seg,
+            bytes: flushed_bytes,
+        });
         self.invalidate_nvram();
         Ok(())
     }

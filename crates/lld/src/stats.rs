@@ -54,6 +54,59 @@ pub struct LldStats {
     pub recovered_from_checkpoint: bool,
 }
 
+impl LldStats {
+    /// Returns `self - earlier` on the monotone counters, for measuring a
+    /// benchmark phase. The point-in-time fields (`recovery_*` snapshots
+    /// of the last recovery, the two booleans) are carried over from
+    /// `self` rather than subtracted.
+    ///
+    /// Returns `None` if `earlier` is not actually an earlier snapshot of
+    /// the same counter set (any counter would underflow), e.g. across a
+    /// [`crate::Lld::reset_stats`].
+    pub fn delta_since(&self, earlier: &LldStats) -> Option<LldStats> {
+        Some(LldStats {
+            segments_sealed: self.segments_sealed.checked_sub(earlier.segments_sealed)?,
+            partial_segment_writes: self
+                .partial_segment_writes
+                .checked_sub(earlier.partial_segment_writes)?,
+            flush_seals: self.flush_seals.checked_sub(earlier.flush_seals)?,
+            block_writes: self.block_writes.checked_sub(earlier.block_writes)?,
+            block_reads: self.block_reads.checked_sub(earlier.block_reads)?,
+            block_reads_from_memory: self
+                .block_reads_from_memory
+                .checked_sub(earlier.block_reads_from_memory)?,
+            user_bytes_written: self
+                .user_bytes_written
+                .checked_sub(earlier.user_bytes_written)?,
+            stored_bytes_written: self
+                .stored_bytes_written
+                .checked_sub(earlier.stored_bytes_written)?,
+            list_records_logged: self
+                .list_records_logged
+                .checked_sub(earlier.list_records_logged)?,
+            records_logged: self.records_logged.checked_sub(earlier.records_logged)?,
+            cleaner_runs: self.cleaner_runs.checked_sub(earlier.cleaner_runs)?,
+            segments_cleaned: self.segments_cleaned.checked_sub(earlier.segments_cleaned)?,
+            cleaner_bytes_copied: self
+                .cleaner_bytes_copied
+                .checked_sub(earlier.cleaner_bytes_copied)?,
+            cleaner_records_relogged: self
+                .cleaner_records_relogged
+                .checked_sub(earlier.cleaner_records_relogged)?,
+            reorganized_lists: self
+                .reorganized_lists
+                .checked_sub(earlier.reorganized_lists)?,
+            nvram_saves: self.nvram_saves.checked_sub(earlier.nvram_saves)?,
+            recovery_summaries_read: self.recovery_summaries_read,
+            recovery_us: self.recovery_us,
+            recovery_records_discarded: self.recovery_records_discarded,
+            recovery_orphans: self.recovery_orphans,
+            recovery_nvram_applied: self.recovery_nvram_applied,
+            recovered_from_checkpoint: self.recovered_from_checkpoint,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +116,29 @@ mod tests {
         let s = LldStats::default();
         assert_eq!(s.segments_sealed, 0);
         assert!(!s.recovered_from_checkpoint);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_snapshots() {
+        let earlier = LldStats {
+            segments_sealed: 2,
+            block_writes: 10,
+            ..LldStats::default()
+        };
+        let later = LldStats {
+            segments_sealed: 5,
+            block_writes: 25,
+            recovery_us: 999,
+            recovered_from_checkpoint: true,
+            ..LldStats::default()
+        };
+        let d = later.delta_since(&earlier).expect("later is later");
+        assert_eq!(d.segments_sealed, 3);
+        assert_eq!(d.block_writes, 15);
+        // Point-in-time fields carry over, not subtract.
+        assert_eq!(d.recovery_us, 999);
+        assert!(d.recovered_from_checkpoint);
+        // Underflow is an absent delta, not a panic.
+        assert_eq!(earlier.delta_since(&later), None);
     }
 }

@@ -80,6 +80,9 @@ pub struct MinixFs<S: BlockStore> {
     /// hint for the next one.
     last_group: u64,
     stats: FsStats,
+    /// Optional event tracer; operations emit [`ld_trace::Event::FsOp`]
+    /// spans when attached.
+    tracer: Option<ld_trace::Tracer>,
 }
 
 impl<S: BlockStore> MinixFs<S> {
@@ -137,6 +140,7 @@ impl<S: BlockStore> MinixFs<S> {
             last_read: None,
             last_group: 0,
             stats: FsStats::default(),
+            tracer: None,
         };
         // Root directory.
         let root = fs.alloc_inode(FileType::Dir, 0)?;
@@ -177,6 +181,7 @@ impl<S: BlockStore> MinixFs<S> {
             last_read: None,
             last_group: 0,
             stats: FsStats::default(),
+            tracer: None,
         })
     }
 
@@ -211,6 +216,41 @@ impl<S: BlockStore> MinixFs<S> {
     /// Current simulated time in microseconds.
     pub fn now_us(&self) -> u64 {
         self.store.now_us()
+    }
+
+    /// Attaches an event tracer: every public operation then records an
+    /// [`ld_trace::Event::FsOp`] latency span. Attach the same tracer to
+    /// the layers below (store / disk) to interleave their events into one
+    /// timeline. Tracing never advances the simulated clock.
+    pub fn set_tracer(&mut self, tracer: ld_trace::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer, if any.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// Span start: the current simulated time, only if tracing.
+    #[inline]
+    fn trace_start(&self) -> Option<u64> {
+        self.tracer.as_ref().map(|_| self.store.now_us())
+    }
+
+    /// Span end: records the completed operation, no-op untraced.
+    #[inline]
+    fn trace_op(&self, op: ld_trace::FsOpKind, start: Option<u64>) {
+        if let (Some(t), Some(start_us)) = (&self.tracer, start) {
+            let end = self.store.now_us();
+            t.record(
+                end,
+                ld_trace::Event::FsOp {
+                    op,
+                    start_us,
+                    us: end - start_us,
+                },
+            );
+        }
     }
 
     fn charge_call(&mut self) {
@@ -617,6 +657,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Resolves a path to its i-node.
     pub fn lookup(&mut self, path_str: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.lookup_inner(path_str);
+        self.trace_op(ld_trace::FsOpKind::Lookup, t0);
+        r
+    }
+
+    fn lookup_inner(&mut self, path_str: &str) -> Result<Ino> {
         let comps = path::split(path_str)?;
         let mut cur = ROOT_INO;
         for comp in comps {
@@ -646,6 +693,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Creates an empty regular file.
     pub fn create(&mut self, path_str: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.create_inner(path_str);
+        self.trace_op(ld_trace::FsOpKind::Create, t0);
+        r
+    }
+
+    fn create_inner(&mut self, path_str: &str) -> Result<Ino> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(path_str)?;
         let mut dir = self.read_inode(parent)?;
@@ -672,6 +726,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, path_str: &str) -> Result<Ino> {
+        let t0 = self.trace_start();
+        let r = self.mkdir_inner(path_str);
+        self.trace_op(ld_trace::FsOpKind::Mkdir, t0);
+        r
+    }
+
+    fn mkdir_inner(&mut self, path_str: &str) -> Result<Ino> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(path_str)?;
         let mut dir = self.read_inode(parent)?;
@@ -691,6 +752,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Writes `data` at byte `offset` of the file, extending it as needed.
     pub fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.write_inner(ino, offset, data);
+        self.trace_op(ld_trace::FsOpKind::Write, t0);
+        r
+    }
+
+    fn write_inner(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
         self.charge_call();
         let mut inode = self.read_inode(ino)?;
         if inode.ftype != FileType::Regular {
@@ -726,6 +794,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Reads up to `buf.len()` bytes at `offset`; returns the byte count.
     pub fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let t0 = self.trace_start();
+        let r = self.read_inner(ino, offset, buf);
+        self.trace_op(ld_trace::FsOpKind::Read, t0);
+        r
+    }
+
+    fn read_inner(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
         self.charge_call();
         let inode = self.read_inode(ino)?;
         let bs = self.store.block_size() as u64;
@@ -783,6 +858,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Truncates a file to zero length, freeing its blocks individually.
     pub fn truncate(&mut self, ino: Ino) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.truncate_inner(ino);
+        self.trace_op(ld_trace::FsOpKind::Truncate, t0);
+        r
+    }
+
+    fn truncate_inner(&mut self, ino: Ino) -> Result<()> {
         self.charge_call();
         let mut inode = self.read_inode(ino)?;
         if inode.ftype != FileType::Regular {
@@ -807,6 +889,13 @@ impl<S: BlockStore> MinixFs<S> {
 
     /// Removes a regular file.
     pub fn unlink(&mut self, path_str: &str) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.unlink_inner(path_str);
+        self.trace_op(ld_trace::FsOpKind::Unlink, t0);
+        r
+    }
+
+    fn unlink_inner(&mut self, path_str: &str) -> Result<()> {
         self.charge_call();
         let (parent, name) = self.lookup_parent(path_str)?;
         let mut dir = self.read_inode(parent)?;
@@ -932,6 +1021,13 @@ impl<S: BlockStore> MinixFs<S> {
     /// store — MINIX's `sync`, which over LD "tells LLD to flush the
     /// segment that is currently being filled" (§4.1).
     pub fn sync(&mut self) -> Result<()> {
+        let t0 = self.trace_start();
+        let r = self.sync_inner();
+        self.trace_op(ld_trace::FsOpKind::Sync, t0);
+        r
+    }
+
+    fn sync_inner(&mut self) -> Result<()> {
         self.charge_call();
         if self.ibitmap_dirty {
             let bs = self.store.block_size();

@@ -141,6 +141,8 @@ pub struct SimDisk {
     /// Remaining sectors until an injected crash fires, if armed.
     crash_after_writes: Option<u64>,
     down: bool,
+    /// Optional event tracer; `None` costs one branch per request.
+    tracer: Option<ld_trace::Tracer>,
 }
 
 impl SimDisk {
@@ -157,6 +159,7 @@ impl SimDisk {
             nvram: Vec::new(),
             crash_after_writes: None,
             down: false,
+            tracer: None,
         }
     }
 
@@ -193,8 +196,38 @@ impl SimDisk {
     }
 
     /// Resets statistics to zero (the clock is left running).
+    ///
+    /// An attached tracer keeps its running attribution totals; attach a
+    /// fresh tracer alongside a stats reset when the two must reconcile.
     pub fn reset_stats(&mut self) {
         self.stats = DiskStats::default();
+    }
+
+    /// Attaches an event tracer. Every subsequent microsecond of busy
+    /// time is reported as a typed event ([`ld_trace::Event`]), so the
+    /// tracer's attribution sums exactly to the busy time accumulated
+    /// from this call on. Tracing never touches the simulated clock:
+    /// timings are bit-identical with or without a tracer.
+    pub fn set_tracer(&mut self, tracer: ld_trace::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer, if any.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&ld_trace::Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Records `event` at the current simulated time (no-op untraced).
+    #[inline]
+    fn trace(&self, event: ld_trace::Event) {
+        if let Some(t) = &self.tracer {
+            t.record(self.clock_us, event);
+        }
     }
 
     /// Bytes of host memory committed to disk contents.
@@ -240,16 +273,26 @@ impl SimDisk {
     fn position_for(&mut self, sector: u64) {
         self.clock_us += self.timing.command_overhead_us;
         self.stats.overhead_us += self.timing.command_overhead_us;
+        if self.timing.command_overhead_us > 0 {
+            self.trace(ld_trace::Event::CmdOverhead {
+                us: self.timing.command_overhead_us,
+            });
+        }
 
         let chs = self.geometry.chs(sector);
         let seek = self
             .timing
             .seek_us(&self.geometry, self.head_cylinder, chs.cylinder);
         if seek > 0 {
+            self.trace(ld_trace::Event::SeekStart {
+                from_cyl: self.head_cylinder,
+                to_cyl: chs.cylinder,
+            });
             self.stats.seeks += 1;
             self.stats.seek_us += seek;
             self.clock_us += seek;
             self.head_cylinder = chs.cylinder;
+            self.trace(ld_trace::Event::SeekDone { us: seek });
         }
 
         let rot = self
@@ -257,6 +300,9 @@ impl SimDisk {
             .rotational_wait_us(&self.geometry, self.clock_us, chs.sector);
         self.stats.rotation_us += rot;
         self.clock_us += rot;
+        if rot > 0 {
+            self.trace(ld_trace::Event::RotWait { us: rot });
+        }
     }
 
     /// Transfers `count` sectors starting at `sector`, advancing the clock
@@ -268,6 +314,8 @@ impl SimDisk {
     {
         let sector_us = self.timing.sector_us(&self.geometry);
         let mut prev_cylinder = self.geometry.chs(sector).cylinder;
+        let mut moved = 0u64;
+        let mut result = Ok(());
         for i in 0..count {
             let cur_sector = sector + i;
             let chs = self.geometry.chs(cur_sector);
@@ -279,17 +327,33 @@ impl SimDisk {
                     self.stats.switch_us += t;
                     self.clock_us += t;
                     self.head_cylinder = chs.cylinder;
+                    self.trace(ld_trace::Event::HeadSwitch { us: t });
                 } else {
                     self.stats.switch_us += self.timing.head_switch_us;
                     self.clock_us += self.timing.head_switch_us;
+                    self.trace(ld_trace::Event::HeadSwitch {
+                        us: self.timing.head_switch_us,
+                    });
                 }
             }
             self.clock_us += sector_us;
             self.stats.transfer_us += sector_us;
-            op(self, cur_sector)?;
+            moved += 1;
+            if let Err(e) = op(self, cur_sector) {
+                // A crash mid-transfer: time up to and including the
+                // aborting sector was already charged; report it.
+                result = Err(e);
+                break;
+            }
             prev_cylinder = chs.cylinder;
         }
-        Ok(())
+        if moved > 0 {
+            self.trace(ld_trace::Event::Transfer {
+                sectors: moved,
+                us: moved * sector_us,
+            });
+        }
+        result
     }
 
     fn check(&self, sector: u64, len: usize) -> Result<u64, DiskError> {
@@ -324,16 +388,37 @@ impl BlockDev for SimDisk {
         let (c0, c1) = self.cache_range;
         if self.timing.readahead_buffer_sectors > 0 && sector >= c0 && sector + count <= c1 {
             self.stats.cached_reads += 1;
+            self.trace(ld_trace::Event::CacheHit {
+                sector,
+                sectors: count,
+            });
             self.clock_us += self.timing.command_overhead_us;
             self.stats.overhead_us += self.timing.command_overhead_us;
+            if self.timing.command_overhead_us > 0 {
+                self.trace(ld_trace::Event::CmdOverhead {
+                    us: self.timing.command_overhead_us,
+                });
+            }
             let t = count * self.timing.bus_sector_us;
             self.clock_us += t;
             self.stats.transfer_us += t;
+            if t > 0 {
+                self.trace(ld_trace::Event::Transfer {
+                    sectors: count,
+                    us: t,
+                });
+            }
             for (i, chunk) in buf.chunks_mut(SECTOR_SIZE).enumerate() {
                 self.store.read_sector(sector + i as u64, chunk);
                 self.stats.sectors_read += 1;
             }
             return Ok(());
+        }
+        if self.timing.readahead_buffer_sectors > 0 {
+            self.trace(ld_trace::Event::CacheMiss {
+                sector,
+                sectors: count,
+            });
         }
         self.position_for(sector);
         let mut bufs: Vec<&mut [u8]> = buf.chunks_mut(SECTOR_SIZE).collect();

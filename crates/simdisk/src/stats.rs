@@ -44,24 +44,23 @@ impl DiskStats {
 
     /// Returns `self - earlier`, for measuring a benchmark phase.
     ///
-    /// # Panics
-    ///
-    /// Panics if `earlier` is not actually an earlier snapshot of the same
-    /// counter set (any field would underflow).
-    pub fn delta_since(&self, earlier: &DiskStats) -> DiskStats {
-        DiskStats {
-            read_ops: self.read_ops - earlier.read_ops,
-            cached_reads: self.cached_reads - earlier.cached_reads,
-            write_ops: self.write_ops - earlier.write_ops,
-            sectors_read: self.sectors_read - earlier.sectors_read,
-            sectors_written: self.sectors_written - earlier.sectors_written,
-            seeks: self.seeks - earlier.seeks,
-            seek_us: self.seek_us - earlier.seek_us,
-            rotation_us: self.rotation_us - earlier.rotation_us,
-            transfer_us: self.transfer_us - earlier.transfer_us,
-            switch_us: self.switch_us - earlier.switch_us,
-            overhead_us: self.overhead_us - earlier.overhead_us,
-        }
+    /// Returns `None` if `earlier` is not actually an earlier snapshot of
+    /// the same counter set (any field would underflow) — e.g. snapshots
+    /// taken across a [`crate::SimDisk::reset_stats`].
+    pub fn delta_since(&self, earlier: &DiskStats) -> Option<DiskStats> {
+        Some(DiskStats {
+            read_ops: self.read_ops.checked_sub(earlier.read_ops)?,
+            cached_reads: self.cached_reads.checked_sub(earlier.cached_reads)?,
+            write_ops: self.write_ops.checked_sub(earlier.write_ops)?,
+            sectors_read: self.sectors_read.checked_sub(earlier.sectors_read)?,
+            sectors_written: self.sectors_written.checked_sub(earlier.sectors_written)?,
+            seeks: self.seeks.checked_sub(earlier.seeks)?,
+            seek_us: self.seek_us.checked_sub(earlier.seek_us)?,
+            rotation_us: self.rotation_us.checked_sub(earlier.rotation_us)?,
+            transfer_us: self.transfer_us.checked_sub(earlier.transfer_us)?,
+            switch_us: self.switch_us.checked_sub(earlier.switch_us)?,
+            overhead_us: self.overhead_us.checked_sub(earlier.overhead_us)?,
+        })
     }
 }
 
@@ -96,9 +95,27 @@ mod tests {
             seek_us: 180,
             ..DiskStats::default()
         };
-        let d = b.delta_since(&a);
+        let d = b.delta_since(&a).expect("b is later than a");
         assert_eq!(d.read_ops, 2);
         assert_eq!(d.sectors_read, 16);
         assert_eq!(d.seek_us, 80);
+    }
+
+    // Regression: `delta_since` used to subtract with bare `-`, panicking
+    // when the "earlier" snapshot was taken after a stats reset (or from a
+    // different disk).
+    #[test]
+    fn delta_since_underflow_is_none_not_a_panic() {
+        let newer = DiskStats {
+            read_ops: 3,
+            ..DiskStats::default()
+        };
+        let older = DiskStats {
+            read_ops: 5,
+            ..DiskStats::default()
+        };
+        assert_eq!(newer.delta_since(&older), None);
+        // The reflexive delta is all-zero, not an error.
+        assert_eq!(newer.delta_since(&newer), Some(DiskStats::default()));
     }
 }

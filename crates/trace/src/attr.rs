@@ -1,0 +1,127 @@
+//! Per-layer time attribution.
+//!
+//! The tracer keeps running totals of every microsecond of simulated disk
+//! busy time, keyed by the mechanical component that consumed it. Unlike
+//! the event ring (which is bounded and drops old events), these totals
+//! are exact for the tracer's whole lifetime, so the attribution table
+//! always sums to precisely `DiskStats::busy_us()` accumulated since the
+//! tracer was attached.
+
+/// Where simulated disk busy time went, in microseconds. The five
+/// components mirror `DiskStats` and sum exactly to its `busy_us()`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Attribution {
+    /// Arm movement.
+    pub seek_us: u64,
+    /// Rotational latency.
+    pub rotation_us: u64,
+    /// Data transfer (media or bus rate).
+    pub transfer_us: u64,
+    /// Head/cylinder switches during transfers.
+    pub switch_us: u64,
+    /// Per-command host and controller overhead.
+    pub overhead_us: u64,
+}
+
+impl Attribution {
+    /// Total attributed busy time — by construction the exact sum of the
+    /// five components.
+    pub fn busy_us(&self) -> u64 {
+        self.seek_us + self.rotation_us + self.transfer_us + self.switch_us + self.overhead_us
+    }
+
+    /// The components as `(label, us)` pairs, fixed order.
+    pub fn components(&self) -> [(&'static str, u64); 5] {
+        [
+            ("seek", self.seek_us),
+            ("rotation", self.rotation_us),
+            ("transfer", self.transfer_us),
+            ("switch", self.switch_us),
+            ("overhead", self.overhead_us),
+        ]
+    }
+
+    /// Renders the attribution table. Percentages are integer tenths (no
+    /// float formatting drift); the `us` column sums exactly to the
+    /// printed total.
+    pub fn render(&self) -> String {
+        let busy = self.busy_us();
+        let mut out = String::from("component        us      share\n");
+        out.push_str("---------------------------------\n");
+        for (label, us) in self.components() {
+            let tenths = (us * 1000).checked_div(busy).unwrap_or(0);
+            out.push_str(&format!(
+                "{label:<10} {us:>12}     {:>3}.{}%\n",
+                tenths / 10,
+                tenths % 10
+            ));
+        }
+        out.push_str(&format!("{:<10} {busy:>12}    100.0%\n", "busy"));
+        out
+    }
+
+    /// One-line summary for table footnotes.
+    pub fn footnote(&self) -> String {
+        let busy = self.busy_us();
+        let pct = |us: u64| {
+            let tenths = (us * 1000).checked_div(busy).unwrap_or(0);
+            format!("{}.{}%", tenths / 10, tenths % 10)
+        };
+        format!(
+            "seek {} ({}) + rotation {} ({}) + transfer {} ({}) + switch {} ({}) + overhead {} ({}) = busy {} us",
+            self.seek_us,
+            pct(self.seek_us),
+            self.rotation_us,
+            pct(self.rotation_us),
+            self.transfer_us,
+            pct(self.transfer_us),
+            self.switch_us,
+            pct(self.switch_us),
+            self.overhead_us,
+            pct(self.overhead_us),
+            busy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_sum_to_busy() {
+        let a = Attribution {
+            seek_us: 10,
+            rotation_us: 20,
+            transfer_us: 30,
+            switch_us: 5,
+            overhead_us: 7,
+        };
+        assert_eq!(a.busy_us(), 72);
+        let total: u64 = a.components().iter().map(|(_, us)| us).sum();
+        assert_eq!(total, a.busy_us());
+    }
+
+    #[test]
+    fn render_handles_zero_busy() {
+        let a = Attribution::default();
+        let s = a.render();
+        assert!(s.contains("busy"));
+        assert!(s.contains("0.0%"));
+    }
+
+    #[test]
+    fn footnote_mentions_every_component() {
+        let a = Attribution {
+            seek_us: 1,
+            rotation_us: 2,
+            transfer_us: 3,
+            switch_us: 4,
+            overhead_us: 5,
+        };
+        let f = a.footnote();
+        for needle in ["seek 1", "rotation 2", "transfer 3", "switch 4", "overhead 5", "busy 15"] {
+            assert!(f.contains(needle), "missing {needle} in {f}");
+        }
+    }
+}

@@ -26,6 +26,12 @@
 //!    they must not reach into `simdisk` internals (stores, geometry,
 //!    timing), otherwise the FS-on-LD-on-simdisk stack stops being
 //!    swappable.
+//! 4. **No console output from storage library code.** `println!` /
+//!    `eprintln!` in the storage crates corrupts experiment output and is
+//!    invisible in tests; diagnostics belong in typed errors, stats
+//!    counters, or `ld-trace` events. CLI entry points (`main.rs`,
+//!    `bin/`) are exempt; a deliberate library print may be waived with
+//!    `// PRINT-OK: <why>`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -43,6 +49,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "sprite-lfs",
     "loge",
     "ldck",
+    "trace",
 ];
 
 /// Crates that must be deterministic (everything simulation-facing —
@@ -59,7 +66,23 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "sprite-lfs",
     "loge",
     "ldck",
+    "trace",
     "bench",
+];
+
+/// Storage library crates whose non-CLI code must not print to the
+/// console (experiment output and trace streams must stay clean).
+const PRINT_FREE_CRATES: &[&str] = &[
+    "simdisk",
+    "core",
+    "ldcomp",
+    "lld",
+    "fsutil",
+    "minix-fs",
+    "ffs",
+    "sprite-lfs",
+    "loge",
+    "trace",
 ];
 
 /// File-system crates bound to the `BlockDev` abstraction.
@@ -72,6 +95,9 @@ const SIMDISK_ALLOWED: &[&str] = &["BlockDev", "DiskError", "SECTOR_SIZE"];
 
 /// Per-line waiver marker for documented invariants.
 const WAIVER: &str = "PANIC-OK:";
+
+/// Per-line waiver marker for deliberate library prints.
+const PRINT_WAIVER: &str = "PRINT-OK:";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -115,7 +141,7 @@ fn lint() -> ExitCode {
     };
 
     let mut crates: Vec<&str> = PANIC_FREE_CRATES.to_vec();
-    for krate in DETERMINISTIC_CRATES {
+    for krate in DETERMINISTIC_CRATES.iter().chain(PRINT_FREE_CRATES) {
         if !crates.contains(krate) {
             crates.push(krate);
         }
@@ -128,7 +154,7 @@ fn lint() -> ExitCode {
 
     if lint.findings.is_empty() {
         println!(
-            "xtask lint: {} files clean (no stray panics, wall clocks, or layering leaks)",
+            "xtask lint: {} files clean (no stray panics, wall clocks, prints, or layering leaks)",
             lint.files_scanned
         );
         ExitCode::SUCCESS
@@ -177,9 +203,14 @@ fn check_file(root: &Path, path: &Path, lint: &mut Lint, krate: &str) {
     let panic_tokens = [".unwrap()", ".expect(", "panic!(", "todo!(", "unimplemented!("];
     let time_tokens = ["std::time::Instant", "Instant::now", "SystemTime", "UNIX_EPOCH"];
     let entropy_tokens = ["thread_rng", "from_entropy", "getrandom", "OsRng", "RandomState"];
+    let print_tokens = ["println!", "eprintln!", "print!(", "eprint!("];
     let panic_free = PANIC_FREE_CRATES.contains(&krate);
     let deterministic = DETERMINISTIC_CRATES.contains(&krate);
     let fs_crate = FS_CRATES.contains(&krate);
+    // CLI entry points may print — that is their job.
+    let cli_entry = path.file_name().is_some_and(|n| n == "main.rs")
+        || path.components().any(|c| c.as_os_str() == "bin");
+    let print_free = PRINT_FREE_CRATES.contains(&krate) && !cli_entry;
 
     let mut in_test_region = false;
     let mut pending_test_attr = false;
@@ -260,6 +291,19 @@ fn check_file(root: &Path, path: &Path, lint: &mut Lint, krate: &str) {
             }
         }
 
+        if print_free && !raw.contains(PRINT_WAIVER) {
+            for tok in print_tokens {
+                if code.contains(tok) {
+                    report(
+                        lint,
+                        &format!("`{tok}` in storage library code"),
+                        "use typed errors, stats counters, or ld-trace events; \
+                         waive a deliberate print with `// PRINT-OK: ...`",
+                    );
+                }
+            }
+        }
+
         if fs_crate {
             for hit in find_simdisk_refs(code) {
                 if !SIMDISK_ALLOWED.contains(&hit.as_str()) {
@@ -314,6 +358,10 @@ fn ci() -> ExitCode {
         ("clippy", &["clippy", "--workspace", "--", "-D", "warnings"]),
         ("lint", &["run", "-q", "-p", "xtask", "--", "lint"]),
         ("ldck smoke", &["run", "-q", "-p", "ldck", "--", "--selftest"]),
+        (
+            "ldtrace smoke",
+            &["run", "-q", "-p", "ld-trace", "--bin", "ldtrace", "--", "--selftest"],
+        ),
     ];
     for (name, args) in steps {
         println!("xtask ci: {name} (cargo {})", args.join(" "));

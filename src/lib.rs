@@ -8,6 +8,7 @@
 pub use ffs;
 pub use fsutil;
 pub use ld_core;
+pub use ld_trace;
 pub use ldck;
 pub use ldcomp;
 pub use lld;

@@ -49,6 +49,13 @@ proptest! {
         .expect("format");
         let mut fs = MinixFs::format(store, fs_config.clone()).expect("mkfs");
 
+        // Trace the whole run; on failure the trailing events show what
+        // the stack was doing when the invariant broke.
+        let tracer = logical_disk_repro::ld_trace::Tracer::new(4096);
+        fs.store_mut().lld_mut().disk_mut().set_tracer(tracer.clone());
+        fs.store_mut().lld_mut().set_tracer(tracer.clone());
+        fs.set_tracer(tracer.clone());
+
         // A durable baseline.
         let mut durable: Vec<(String, Vec<u8>)> = Vec::new();
         for i in 0..nfiles {
@@ -90,11 +97,17 @@ proptest! {
         let report = logical_disk_repro::ldck::check_image(&disk.image_bytes(), &lld_config);
         prop_assert!(
             report.is_clean(),
-            "crashed image has errors: {:?}",
-            report.findings
+            "crashed image has errors: {:?}\n{}",
+            report.findings,
+            tracer.dump_tail(100)
         );
         let store = LdStore::mount(disk, lld_config.clone()).expect("LD recovery must succeed");
         let mut fs = MinixFs::mount(store, fs_config).expect("mount must succeed");
+        // Re-attach to the recovered stack (set_tracer records the
+        // recovery sweep retroactively, so it lands in the timeline too).
+        fs.store_mut().lld_mut().disk_mut().set_tracer(tracer.clone());
+        fs.store_mut().lld_mut().set_tracer(tracer.clone());
+        fs.set_tracer(tracer.clone());
 
         // Invariant 1: every directory entry resolves and reads fully.
         for d in fs.readdir("/").expect("readdir") {
@@ -108,7 +121,7 @@ proptest! {
             prop_assert_eq!(
                 fs.read(ino, 0, &mut buf).expect("read"),
                 size,
-                "{} truncated after recovery", &path
+                "{} truncated after recovery\n{}", &path, tracer.dump_tail(100)
             );
         }
 
@@ -121,7 +134,8 @@ proptest! {
             let mut buf = vec![0u8; data.len()];
             prop_assert_eq!(
                 fs.read(ino, 0, &mut buf).expect("read baseline"),
-                data.len()
+                data.len(),
+                "baseline {} truncated\n{}", path, tracer.dump_tail(100)
             );
         }
 
@@ -135,8 +149,9 @@ proptest! {
         let report = logical_disk_repro::ldck::check_image(&disk.image_bytes(), &lld_config);
         prop_assert!(
             report.is_clean(),
-            "post-recovery image has errors: {:?}",
-            report.findings
+            "post-recovery image has errors: {:?}\n{}",
+            report.findings,
+            tracer.dump_tail(100)
         );
     }
 }
