@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--trace <file>] <experiment>...
-//! repro [--quick] [--trace <file>] all
+//! repro [--quick] [--trace <file>] [--faults <spec>] <experiment>...
+//! repro [--quick] [--trace <file>] [--faults <spec>] all
 //! ```
 //!
 //! `--trace` writes structured JSONL event traces (see the `ld-trace`
@@ -13,11 +13,21 @@
 //! the file with `ldtrace <file>`. Tracing never changes the simulated
 //! timings — table cells are identical with and without it.
 //!
+//! `--faults` injects the deterministic media-fault model into the MINIX
+//! LLD stack of `table4`/`table5` (e.g.
+//! `--faults seed=7,transient=2000,latent=0`; rates in ppm of sectors)
+//! and appends a degraded-mode footnote: retries, remapped sectors,
+//! unreadable blocks, and the `ldck` verdict on the post-run image. The
+//! other stacks stay on perfect media — they have no retry machinery; the
+//! `faults` experiment covers that comparison. Note latent/grown faults
+//! destroy whatever data sits on the scheduled sectors; LLD reports such
+//! loss, it cannot undo it.
+//!
 //! Experiments: `calibrate` (E12), `table2` (E1), `table3` (E2), `table4`
 //! (E3), `table5` (E4), `table6` (E5), `recovery` (E6), `lists` (E7),
 //! `segsize` (E8), `inodes` (E9), `compression` (E10), `loge` (E11),
-//! `ablate` (E13). See `DESIGN.md` for the index and `EXPERIMENTS.md` for
-//! recorded results.
+//! `ablate` (E13), `faults` (E16). See `DESIGN.md` for the index and
+//! `EXPERIMENTS.md` for recorded results.
 
 use ld_bench::exp::{self, Opts};
 
@@ -37,6 +47,7 @@ const ALL: &[&str] = &[
     "nvram",
     "hotcold",
     "ablate",
+    "faults",
 ];
 
 fn dispatch(name: &str, opts: Opts) -> Option<String> {
@@ -56,6 +67,7 @@ fn dispatch(name: &str, opts: Opts) -> Option<String> {
         "nvram" => exp::nvram_exp::run(opts),
         "hotcold" => exp::hotcold::run(opts),
         "ablate" => exp::ablate::run(opts),
+        "faults" => exp::faults::run(opts),
         _ => return None,
     })
 }
@@ -80,7 +92,29 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let opts = Opts { quick, trace };
+    let faults = match args.iter().position(|a| a == "--faults") {
+        Some(i) => match args.get(i + 1) {
+            Some(spec) if !spec.starts_with("--") => {
+                match ld_bench::faultctl::parse_spec(spec) {
+                    Ok(cfg) => Some(cfg),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("--faults requires a spec argument (e.g. seed=7,transient=2000)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let opts = Opts {
+        quick,
+        trace,
+        faults,
+    };
     let mut skip_next = false;
     let wanted: Vec<&str> = args
         .iter()
@@ -89,7 +123,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--trace" {
+            if *a == "--trace" || *a == "--faults" {
                 skip_next = true;
                 return false;
             }
@@ -99,7 +133,9 @@ fn main() {
         .collect();
 
     if wanted.is_empty() || wanted.contains(&"help") {
-        eprintln!("usage: repro [--quick] [--trace <file>] <experiment>... | all");
+        eprintln!(
+            "usage: repro [--quick] [--trace <file>] [--faults <spec>] <experiment>... | all"
+        );
         eprintln!("experiments: {}", ALL.join(" "));
         std::process::exit(if wanted.is_empty() { 2 } else { 0 });
     }

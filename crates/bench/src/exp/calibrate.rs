@@ -79,7 +79,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn calibration_matches_paper_anchors() {
-        let out = super::run(super::super::Opts { quick: true, trace: None });
+        let out = super::run(super::super::Opts { quick: true, trace: None, faults: None });
         assert!(out.contains("2400"));
         // Extract the simulated segment throughput and check the band.
         let line = out

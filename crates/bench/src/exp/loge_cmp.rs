@@ -114,7 +114,7 @@ pub fn run(opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn loge_relations_hold_quick() {
-        let out = super::run(super::super::Opts { quick: true, trace: None });
+        let out = super::run(super::super::Opts { quick: true, trace: None, faults: None });
         // Extract the recovery ratio line.
         let line = out
             .lines()

@@ -5,6 +5,7 @@
 pub mod ablate;
 pub mod calibrate;
 pub mod compression;
+pub mod faults;
 pub mod hotcold;
 pub mod inodes;
 pub mod lists;
@@ -27,4 +28,8 @@ pub struct Opts {
     /// Append structured trace output (JSONL) for traced experiments to
     /// this file; `None` disables tracing entirely (the default).
     pub trace: Option<std::path::PathBuf>,
+    /// Inject this media-fault model into the MINIX LLD stack of the
+    /// traced experiments (`repro --faults`); `None` (the default) runs
+    /// on perfect media and costs nothing.
+    pub faults: Option<simdisk::FaultConfig>,
 }

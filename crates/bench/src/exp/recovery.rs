@@ -88,7 +88,7 @@ pub fn run(opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn recovery_runs_and_reads_only_summaries() {
-        let out = super::run(super::super::Opts { quick: true, trace: None });
+        let out = super::run(super::super::Opts { quick: true, trace: None, faults: None });
         assert!(out.contains("segment summaries read"));
     }
 }

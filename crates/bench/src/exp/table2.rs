@@ -89,7 +89,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn table2_reproduces_paper_cells() {
-        let out = super::run(super::super::Opts { quick: true, trace: None });
+        let out = super::run(super::super::Opts { quick: true, trace: None, faults: None });
         assert!(out.contains("1.5 Mbyte"), "block map col 1:\n{out}");
         assert!(
             out.contains("3.8 Mbyte") || out.contains("3.7 Mbyte"),

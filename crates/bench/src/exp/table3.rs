@@ -56,7 +56,7 @@ pub fn run(_opts: super::Opts) -> String {
 mod tests {
     #[test]
     fn table3_reproduces_paper_cells() {
-        let out = super::run(super::super::Opts { quick: true, trace: None });
+        let out = super::run(super::super::Opts { quick: true, trace: None, faults: None });
         // Paper cells: $30+$750 → 6%/18%; $50+$750 → 10%/31%;
         // $30+$1500 → 3%/9%; $50+$1500 → 5%/15%.
         assert!(out.contains("6% or 18%"), "{out}");

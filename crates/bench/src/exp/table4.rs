@@ -43,6 +43,7 @@ pub fn run(opts: super::Opts) -> String {
         let exp = format!("table4/{label}");
 
         let mut fs = MinixLld(rig::minix_lld(disk_bytes));
+        crate::faultctl::inject(&mut fs, &opts);
         let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
         let c = fmt(&r);
@@ -53,6 +54,7 @@ pub fn run(opts: super::Opts) -> String {
             c[2].clone(),
         ]).expect("row width");
         footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, &exp));
+        footnotes.push_str(&crate::faultctl::finish(fs, &opts));
 
         let mut fs = MinixRaw(rig::minix(disk_bytes));
         let tr = crate::tracectl::maybe_attach(&mut fs, &opts);

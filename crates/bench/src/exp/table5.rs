@@ -46,10 +46,12 @@ pub fn run(opts: super::Opts) -> String {
     ]);
     let mut footnotes = String::new();
     let mut fs = MinixLld(rig::minix_lld(disk_bytes));
+    crate::faultctl::inject(&mut fs, &opts);
     let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
     let r = large_file(&mut fs, file_bytes, chunk);
     t.row(row(fs.label(), &r)).expect("row width");
     footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, "table5"));
+    footnotes.push_str(&crate::faultctl::finish(fs, &opts));
     let mut fs = MinixRaw(rig::minix(disk_bytes));
     let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
     let r = large_file(&mut fs, file_bytes, chunk);

@@ -11,6 +11,7 @@
 
 pub mod driver;
 pub mod exp;
+pub mod faultctl;
 pub mod report;
 pub mod rig;
 pub mod tracectl;

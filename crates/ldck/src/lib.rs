@@ -117,6 +117,18 @@ pub enum Kind {
     /// Records of an explicit ARU that never ended (recovery discards
     /// them — the paper's all-or-nothing guarantee, §3.1).
     IncompleteAru,
+    /// The checkpoint's bad-sector remap table is not strictly increasing,
+    /// or names a sector outside every segment (the scrubber only ever
+    /// remaps sectors it read from segment regions).
+    RemapTableMalformed,
+    /// A live block's sector extent covers a sector the remap table
+    /// declares bad — scrub relocates live data *before* remapping, so no
+    /// reachable block may sit on a remapped sector.
+    LiveBlockOnBadSector,
+    /// A remapped sector lies in a segment the usage table does not mark
+    /// Quarantined. Scrub quarantines every segment it confirms a bad
+    /// sector in, and quarantine is permanent, so this should not occur.
+    BadSectorSegmentNotQuarantined,
 }
 
 impl Kind {
@@ -146,6 +158,9 @@ impl Kind {
             Kind::UnattachedBlock => "unattached-block",
             Kind::OrphanBlock => "orphan-block",
             Kind::IncompleteAru => "incomplete-aru",
+            Kind::RemapTableMalformed => "remap-table-malformed",
+            Kind::LiveBlockOnBadSector => "live-block-on-bad-sector",
+            Kind::BadSectorSegmentNotQuarantined => "bad-sector-segment-not-quarantined",
         }
     }
 }
@@ -191,6 +206,10 @@ pub struct ImageStats {
     /// Blocks whose data lives in the NVRAM image (checkpoint mode only;
     /// the NVRAM contents are outside the disk image and not checkable).
     pub nvram_blocks: u64,
+    /// Sectors in the bad-block remap table: the checkpoint's table in
+    /// checkpoint mode, or the set reconstructed from `RetireSector`
+    /// records by the sweep replay.
+    pub bad_sectors: u64,
 }
 
 /// The result of [`check_image`].
@@ -251,6 +270,9 @@ struct State {
     blocks: BTreeMap<u64, Blk>,
     /// `lid -> first`.
     lists: BTreeMap<u64, Option<u64>>,
+    /// Remapped sectors replayed from `RetireSector` records (sweep mode;
+    /// in checkpoint mode the checkpoint's table is authoritative).
+    bad_sectors: std::collections::BTreeSet<u64>,
 }
 
 /// Checks a raw LLD disk image for consistency.
@@ -325,7 +347,9 @@ pub fn check_image(image: &[u8], config: &LldConfig) -> Report {
         }
         CheckpointPeek::Valid(view) => {
             report.stats.checkpoint = true;
+            report.stats.bad_sectors = view.bad_sectors.len() as u64;
             check_checkpoint_meta(&view, &summaries, &layout, &mut report);
+            check_bad_sector_table(&view, &layout, &mut report);
             let state = state_from_view(&view);
             check_state(&state, &summaries, &layout, Some(&view), &mut report);
             finish_stats(&state, &mut report);
@@ -335,6 +359,9 @@ pub fn check_image(image: &[u8], config: &LldConfig) -> Report {
 }
 
 fn finish_stats(state: &State, report: &mut Report) {
+    if !report.stats.checkpoint {
+        report.stats.bad_sectors = state.bad_sectors.len() as u64;
+    }
     report.stats.blocks = state.blocks.len() as u64;
     report.stats.lists = state.lists.len() as u64;
     report.stats.nvram_blocks = state
@@ -461,6 +488,54 @@ fn check_checkpoint_meta(
         }
     }
     let _ = layout;
+}
+
+/// Validates the checkpoint's bad-sector remap table in isolation: the
+/// scrubber serializes a `BTreeSet`, so the wire form must be strictly
+/// increasing, and every entry must fall inside some segment (scrub only
+/// probes sectors LLD actually read, all of which live in segment
+/// regions). Placement relative to quarantined segments is a cross-check:
+/// scrub quarantines the segment of every sector it remaps, and quarantine
+/// is permanent, so a bad sector in a non-Quarantined segment means the
+/// table and the usage table disagree about history.
+fn check_bad_sector_table(view: &CheckpointView, layout: &Layout, report: &mut Report) {
+    for (i, &sector) in view.bad_sectors.iter().enumerate() {
+        if i > 0 && view.bad_sectors[i - 1] >= sector {
+            report.push(
+                Severity::Error,
+                Kind::RemapTableMalformed,
+                None,
+                format!(
+                    "remap table is not strictly increasing: sector {} follows {}",
+                    sector,
+                    view.bad_sectors[i - 1]
+                ),
+            );
+        }
+        let Some(seg) = layout.segment_of_sector(sector) else {
+            report.push(
+                Severity::Error,
+                Kind::RemapTableMalformed,
+                None,
+                format!("remapped sector {sector} lies outside every segment"),
+            );
+            continue;
+        };
+        match view.usage.get(seg as usize) {
+            Some(u) if u.state != SegStateView::Quarantined => {
+                report.push(
+                    Severity::Warning,
+                    Kind::BadSectorSegmentNotQuarantined,
+                    Some(seg),
+                    format!(
+                        "remapped sector {sector} sits in a segment marked {:?}, not Quarantined",
+                        u.state
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Builds the model state from a parsed checkpoint.
@@ -636,6 +711,12 @@ fn apply(state: &mut State, r: &RepRec) {
                 }
             }
         }
+        Record::RetireSector { sector } => {
+            state.bad_sectors.insert(sector);
+        }
+        // Quarantine affects the usage table, which the sweep does not
+        // model; the placement checks use the remap table instead.
+        Record::Quarantine { .. } => {}
     }
 }
 
@@ -664,6 +745,10 @@ fn check_state(
     let payload: HashSet<u32> = view
         .map(|v| v.payload_segments.iter().copied().collect())
         .unwrap_or_default();
+    let bad: std::collections::BTreeSet<u64> = match view {
+        Some(v) => v.bad_sectors.iter().copied().collect(),
+        None => state.bad_sectors.clone(),
+    };
 
     // Physical placement of every mapped block.
     let mut extents: BTreeMap<u32, Vec<(u32, u32, u64)>> = BTreeMap::new();
@@ -744,6 +829,18 @@ fn check_state(
                 *live.entry(seg).or_default() += u64::from(b.stored_len);
                 if b.stored_len > 0 {
                     extents.entry(seg).or_default().push((b.offset, b.stored_len, bid));
+                    if !bad.is_empty() {
+                        let (start, count) =
+                            layout.data_sector_span(seg, b.offset as usize, b.stored_len as usize);
+                        if let Some(&s) = bad.range(start..start + count).next() {
+                            report.push(
+                                Severity::Error,
+                                Kind::LiveBlockOnBadSector,
+                                Some(seg),
+                                format!("block {bid} occupies remapped bad sector {s}"),
+                            );
+                        }
+                    }
                 }
             }
         }

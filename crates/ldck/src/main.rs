@@ -127,6 +127,9 @@ fn print_report(report: &Report, quiet: bool) {
             s.blocks,
             s.lists,
         );
+        if s.bad_sectors > 0 {
+            println!("{} remapped bad sector(s)", s.bad_sectors);
+        }
     }
     let errors = report.errors().count();
     if errors > 0 {
@@ -139,7 +142,8 @@ fn print_report(report: &Report, quiet: bool) {
 /// Built-in smoke test used by CI: formats an in-memory image, dirties and
 /// cleanly shuts it down, and expects `ldck` to pass it, to pass its
 /// crash-mode (checkpoint-invalidated) variant, and to flag a seeded
-/// summary corruption.
+/// summary corruption, a forged remap-table entry under a live block, and
+/// an unsorted remap table.
 fn selftest() -> ExitCode {
     use ld_core::{FailureSet, ListHints, LogicalDisk, Pred, PredList};
 
@@ -209,6 +213,39 @@ fn selftest() -> ExitCode {
     if flagged.is_clean() {
         print_report(&flagged, false);
         return fail("summary corruption went undetected");
+    }
+
+    // 4. A remap table claiming a sector under a live block must be
+    //    flagged: scrub relocates data before remapping, so no honest
+    //    image pairs a live extent with a bad sector.
+    let Some(live_sector) = view
+        .blocks
+        .iter()
+        .find(|b| b.seg < layout.segments && b.stored_len > 0)
+        .map(|b| layout.data_sector_span(b.seg, b.offset as usize, b.stored_len as usize).0)
+    else {
+        return fail("no on-disk live block to forge a remap entry for");
+    };
+    let mut forged = image.clone();
+    if !lld::checkpoint::forge_bad_sector_table(&mut forged, &layout, &[live_sector]) {
+        return fail("could not forge a bad-sector table");
+    }
+    let remapped = check_image(&forged, &config);
+    if remapped.is_clean() {
+        print_report(&remapped, false);
+        return fail("live block on a remapped sector went undetected");
+    }
+
+    // 5. An unsorted remap table is structurally malformed.
+    let mut unsorted = image.clone();
+    let s0 = layout.segment_base(0);
+    if !lld::checkpoint::forge_bad_sector_table(&mut unsorted, &layout, &[s0 + 1, s0]) {
+        return fail("could not forge an unsorted bad-sector table");
+    }
+    let malformed = check_image(&unsorted, &config);
+    if malformed.is_clean() {
+        print_report(&malformed, false);
+        return fail("unsorted remap table went undetected");
     }
 
     println!("ldck: selftest passed");

@@ -34,6 +34,7 @@ pub(crate) struct LoadedState {
     pub usage: UsageTable,
     pub ts: u64,
     pub seq: u64,
+    pub bad_sectors: std::collections::BTreeSet<u64>,
 }
 
 /// One block-map entry of a parsed checkpoint, as plain data.
@@ -81,6 +82,8 @@ pub enum SegStateView {
     Live,
     /// Durable scratch copy of a partial segment (§3.2).
     Scratch,
+    /// Retired because of persistent media faults (never reused).
+    Quarantined,
 }
 
 /// One usage-table entry of a parsed checkpoint, indexed by segment id.
@@ -110,6 +113,11 @@ pub struct CheckpointView {
     pub lists: Vec<ListView>,
     /// Usage table, one entry per segment.
     pub usage: Vec<SegUsageView>,
+    /// Bad-block remap table: sectors retired after confirmed media
+    /// faults, in ascending order. Empty for checkpoints written before
+    /// any fault (the section is omitted from the payload entirely, so
+    /// fault-free images are byte-identical to the pre-fault format).
+    pub bad_sectors: Vec<u64>,
 }
 
 /// Outcome of peeking at a raw image's checkpoint region.
@@ -270,9 +278,19 @@ fn serialize<D: BlockDev>(lld: &Lld<D>) -> Vec<u8> {
             SegState::Free => 0,
             SegState::Live => 1,
             SegState::Scratch => 2,
+            SegState::Quarantined => 3,
         });
         put_u64(&mut out, u.live_bytes);
         put_u64(&mut out, u.last_write_ts);
+    }
+
+    // Bad-block remap table, appended only when non-empty so fault-free
+    // checkpoints keep the original byte layout (readers length-gate it).
+    if !lld.bad_sectors.is_empty() {
+        put_u64(&mut out, lld.bad_sectors.len() as u64);
+        for s in &lld.bad_sectors {
+            put_u64(&mut out, *s);
+        }
     }
     out
 }
@@ -334,6 +352,7 @@ fn deserialize_view(data: &[u8]) -> Option<CheckpointView> {
             0 => SegStateView::Free,
             1 => SegStateView::Live,
             2 => SegStateView::Scratch,
+            3 => SegStateView::Quarantined,
             _ => return None,
         };
         usage.push(SegUsageView {
@@ -342,6 +361,17 @@ fn deserialize_view(data: &[u8]) -> Option<CheckpointView> {
             last_write_ts: r.u64()?,
         });
     }
+
+    // Optional bad-block remap table: present iff payload bytes remain
+    // (checkpoints written before any media fault omit it).
+    let mut bad_sectors = Vec::new();
+    if r.pos < data.len() {
+        let nbad = r.u64()?;
+        bad_sectors.reserve(nbad.min(1 << 24) as usize);
+        for _ in 0..nbad {
+            bad_sectors.push(r.u64()?);
+        }
+    }
     Some(CheckpointView {
         ts,
         seq,
@@ -349,6 +379,7 @@ fn deserialize_view(data: &[u8]) -> Option<CheckpointView> {
         blocks,
         lists,
         usage,
+        bad_sectors,
     })
 }
 
@@ -385,6 +416,7 @@ fn state_from_view(view: CheckpointView) -> LoadedState {
                     SegStateView::Free => SegState::Free,
                     SegStateView::Live => SegState::Live,
                     SegStateView::Scratch => SegState::Scratch,
+                    SegStateView::Quarantined => SegState::Quarantined,
                 },
                 live_bytes: u.live_bytes,
                 last_write_ts: u.last_write_ts,
@@ -397,6 +429,7 @@ fn state_from_view(view: CheckpointView) -> LoadedState {
         usage,
         ts: view.ts,
         seq: view.seq,
+        bad_sectors: view.bad_sectors.iter().copied().collect(),
     }
 }
 
@@ -440,10 +473,26 @@ pub(crate) fn write_checkpoint<D: BlockDev>(lld: &mut Lld<D>) -> Result<()> {
 }
 
 /// Attempts to load (and invalidate) a checkpoint. `Ok(None)` means no
-/// valid checkpoint; the caller falls back to the sweep.
-pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Option<LoadedState>> {
+/// valid checkpoint; the caller falls back to the sweep. Reads are
+/// re-driven up to `attempts` times against transient media faults
+/// (`retries` counts the re-driven attempts); a persistently unreadable
+/// header or payload invalidates the checkpoint and falls back to the
+/// sweep, which never depends on the checkpoint region.
+pub(crate) fn try_load<D: BlockDev>(
+    disk: &mut D,
+    layout: &Layout,
+    attempts: u32,
+    retries: &mut u64,
+) -> Result<Option<LoadedState>> {
     let mut header = vec![0u8; HEADER_SECTORS as usize * SECTOR_SIZE];
-    disk.read_sectors(0, &mut header).map_err(dev)?;
+    if crate::read_sectors_retrying(disk, 0, &mut header, attempts, retries)?.is_some() {
+        // Unreadable header: invalidate it outright (writes still work on
+        // this fault model) so a later, luckier read cannot resurrect a
+        // checkpoint that this start-up's sweep is about to supersede.
+        header.fill(0);
+        disk.write_sectors(0, &header).map_err(dev)?;
+        return Ok(None);
+    }
     // Layout: u32 magic, u16 version, u8 valid marker, u8 pad, then fields.
     let magic = wire::le_u32(&header, 0);
     let version = wire::le_u16(&header, 4);
@@ -472,8 +521,20 @@ pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Opt
     let mut payload = Vec::with_capacity(segs.len() * layout.segment_bytes);
     let mut chunk = vec![0u8; layout.segment_bytes];
     for seg in &segs {
-        disk.read_sectors(layout.segment_base(*seg), &mut chunk)
-            .map_err(dev)?;
+        if crate::read_sectors_retrying(
+            disk,
+            layout.segment_base(*seg),
+            &mut chunk,
+            attempts,
+            retries,
+        )?
+        .is_some()
+        {
+            // Unreadable payload: invalidate the marker and sweep instead.
+            header[6] = 0;
+            disk.write_sectors(0, &header).map_err(dev)?;
+            return Ok(None);
+        }
         payload.extend_from_slice(&chunk);
     }
     payload.truncate(payload_len);
@@ -492,4 +553,110 @@ pub(crate) fn try_load<D: BlockDev>(disk: &mut D, layout: &Layout) -> Result<Opt
     header[6] = 0;
     disk.write_sectors(0, &header).map_err(dev)?;
     Ok(Some(state))
+}
+
+/// Byte offset just past the usage-table section of a checkpoint payload
+/// (where the optional bad-block remap table begins).
+fn usage_end_offset(data: &[u8]) -> Option<usize> {
+    let mut r = Reader { data, pos: 0 };
+    r.u64()?; // ts
+    r.u64()?; // seq
+    let nblocks = r.u64()?;
+    for _ in 0..nblocks {
+        r.u64()?;
+        r.u32()?;
+        r.u32()?;
+        r.u32()?;
+        r.u32()?;
+        r.u32()?;
+        r.u8()?;
+        r.u64()?;
+        r.u64()?;
+    }
+    let nlists = r.u64()?;
+    for _ in 0..nlists {
+        r.u64()?;
+        r.u64()?;
+        r.u8()?;
+    }
+    let nsegs = r.u32()?;
+    for _ in 0..nsegs {
+        r.u8()?;
+        r.u64()?;
+        r.u64()?;
+    }
+    Some(r.pos)
+}
+
+/// Rewrites the bad-block remap table of a checkpointed raw image in
+/// place, recomputing the payload length and checksum so the image still
+/// parses. `sectors` is written verbatim — unsorted or duplicated entries
+/// are allowed on purpose. Test-fixture support: offline tooling needs
+/// images whose remap table is malformed or disagrees with the block map
+/// to exercise its cross-checks (`ldck --selftest`). Returns `false` when
+/// the image holds no valid checkpoint or the new payload no longer fits
+/// the segments listed in the header.
+pub fn forge_bad_sector_table(image: &mut [u8], layout: &Layout, sectors: &[u64]) -> bool {
+    let header_len = HEADER_SECTORS as usize * SECTOR_SIZE;
+    if image.len() < header_len {
+        return false;
+    }
+    let magic = wire::le_u32(image, 0);
+    let version = wire::le_u16(image, 4);
+    if magic != CKPT_MAGIC || version != CKPT_VERSION || image[6] != 1 {
+        return false;
+    }
+    let mut r = Reader {
+        data: &image[..header_len],
+        pos: 8,
+    };
+    let (Some(payload_len), Some(_), Some(nsegs)) = (r.u64(), r.u64(), r.u32()) else {
+        return false;
+    };
+    let mut segs = Vec::with_capacity(nsegs as usize);
+    for _ in 0..nsegs {
+        match r.u32() {
+            Some(s) if s < layout.segments => segs.push(s),
+            _ => return false,
+        }
+    }
+    let payload_len = payload_len as usize;
+    if payload_len > segs.len() * layout.segment_bytes {
+        return false;
+    }
+    let mut payload = Vec::with_capacity(segs.len() * layout.segment_bytes);
+    for seg in &segs {
+        let base = layout.segment_base(*seg) as usize * SECTOR_SIZE;
+        let Some(chunk) = image.get(base..base + layout.segment_bytes) else {
+            return false;
+        };
+        payload.extend_from_slice(chunk);
+    }
+    payload.truncate(payload_len);
+    let Some(end) = usage_end_offset(&payload) else {
+        return false;
+    };
+    payload.truncate(end);
+    if !sectors.is_empty() {
+        put_u64(&mut payload, sectors.len() as u64);
+        for s in sectors {
+            put_u64(&mut payload, *s);
+        }
+    }
+    if payload.len().div_ceil(layout.segment_bytes) > segs.len() {
+        return false;
+    }
+    for (i, seg) in segs.iter().enumerate() {
+        let base = layout.segment_base(*seg) as usize * SECTOR_SIZE;
+        let start = i * layout.segment_bytes;
+        let chunk = &mut image[base..base + layout.segment_bytes];
+        chunk.fill(0);
+        if start < payload.len() {
+            let end = (start + layout.segment_bytes).min(payload.len());
+            chunk[..end - start].copy_from_slice(&payload[start..end]);
+        }
+    }
+    image[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    image[16..24].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+    true
 }

@@ -15,15 +15,15 @@
 //! this, freeing a segment could discard the only surviving record of a
 //! link or an allocation and recovery would reconstruct a stale state.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use ld_core::Result;
 use simdisk::BlockDev;
 
 use crate::block_map::OPEN_SEG;
-use crate::records::{Record, Summary};
+use crate::records::Record;
 use crate::usage::SegState;
-use crate::{dev, Lld};
+use crate::Lld;
 
 /// Victim-selection policy for the cleaner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,7 +143,26 @@ impl<D: BlockDev> Lld<D> {
         let mut mentioned_bids: HashSet<u64> = HashSet::new();
         let mut mentioned_lids: HashSet<u64> = HashSet::new();
         let mut swap_bids: HashSet<u64> = HashSet::new();
-        if let Some(summary) = self.read_summary(victim)? {
+        let mut mentioned_sectors: HashSet<u64> = HashSet::new();
+        let mut mentioned_quarantines: HashSet<u32> = HashSet::new();
+        let summary = {
+            let mut buf = vec![0u8; self.layout.summary_bytes];
+            if self
+                .read_span_retrying(self.layout.summary_base(victim), &mut buf)?
+                .is_some()
+            {
+                // The summary holds the only copy of this segment's
+                // metadata records; without it the segment cannot be
+                // reclaimed safely. Retire it instead — the summary stays
+                // on the medium for a later recovery sweep to retry.
+                self.ensure_room(0, 1)?;
+                self.log_internal(Record::Quarantine { seg: victim });
+                self.usage.quarantine(victim);
+                return Ok(());
+            }
+            crate::records::decode_summary(&buf)
+        };
+        if let Some(summary) = summary {
             for s in &summary.records {
                 match s.rec {
                     Record::NewBlock { bid, .. }
@@ -170,6 +189,12 @@ impl<D: BlockDev> Lld<D> {
                         swap_bids.insert(a);
                         swap_bids.insert(b);
                     }
+                    Record::RetireSector { sector } => {
+                        mentioned_sectors.insert(sector);
+                    }
+                    Record::Quarantine { seg } => {
+                        mentioned_quarantines.insert(seg);
+                    }
                 }
             }
         }
@@ -179,19 +204,37 @@ impl<D: BlockDev> Lld<D> {
         self.order_by_lists(&mut live);
 
         // Forward live blocks. Read the whole data region once — the
-        // cleaner works in segment-sized I/O.
+        // cleaner works in segment-sized I/O. If that streaming read hits
+        // a bad sector even after retries, fall back to per-block reads so
+        // one fault does not doom every live block in the segment.
+        let mut unreadable_live = false;
         if !live.is_empty() {
             let mut data = vec![0u8; self.layout.data_bytes];
-            self.disk
-                .read_sectors(self.layout.segment_base(victim), &mut data)
-                .map_err(dev)?;
+            let whole_region = self
+                .read_span_retrying(self.layout.segment_base(victim), &mut data)?
+                .is_none();
             for bid in live {
                 let e = *self.map.get(bid).expect("liveness checked"); // PANIC-OK: the cleaner only visits bids its liveness check kept
                 if e.seg != victim {
                     // A seal during this loop cannot move it, but be safe.
                     continue;
                 }
-                let bytes = data[e.offset as usize..(e.offset + e.stored_len) as usize].to_vec();
+                let bytes = if whole_region {
+                    data[e.offset as usize..(e.offset + e.stored_len) as usize].to_vec()
+                } else {
+                    let (start, count) = self.layout.data_sector_span(
+                        victim,
+                        e.offset as usize,
+                        e.stored_len as usize,
+                    );
+                    let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
+                    if self.read_span_retrying(start, &mut sectors)?.is_some() {
+                        unreadable_live = true;
+                        continue;
+                    }
+                    let begin = e.offset as usize % simdisk::SECTOR_SIZE;
+                    sectors[begin..begin + e.stored_len as usize].to_vec()
+                };
                 self.ensure_room(bytes.len(), 1)?;
                 let offset = self.open.append_data(&bytes);
                 self.log_internal(Record::WriteBlock {
@@ -225,7 +268,10 @@ impl<D: BlockDev> Lld<D> {
                     self.layout
                         .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
                 let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
-                self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                if self.read_span_retrying(start, &mut sectors)?.is_some() {
+                    unreadable_live = true;
+                    continue;
+                }
                 let begin = e.offset as usize % simdisk::SECTOR_SIZE;
                 sectors[begin..begin + e.stored_len as usize].to_vec()
             };
@@ -252,6 +298,20 @@ impl<D: BlockDev> Lld<D> {
             self.open_live += u64::from(e.stored_len);
             self.open_bids.push(bid);
             self.stats.cleaner_bytes_copied += u64::from(e.stored_len);
+        }
+
+        if unreadable_live {
+            // Some live copy stayed unreadable after retries. Blocks
+            // already forwarded are safe (their new records outrank the
+            // old ones at replay); everything else — including the
+            // summary, which may hold the only record of the stranded
+            // blocks — must stay on the medium, so the segment is
+            // retired rather than freed. A later scrub accounts for the
+            // damage and retires the failing sectors.
+            self.ensure_room(0, 1)?;
+            self.log_internal(Record::Quarantine { seg: victim });
+            self.usage.quarantine(victim);
+            return Ok(());
         }
 
         // Re-log live metadata; drop dead records ("removes old logging
@@ -291,6 +351,23 @@ impl<D: BlockDev> Lld<D> {
                 }
             }
         }
+        // Medium-health facts are monotone (a retired sector never comes
+        // back), so any mentioned here is still current — re-log it before
+        // this summary, possibly its only copy, is discarded.
+        for sector in mentioned_sectors {
+            if self.bad_sectors.contains(&sector) {
+                self.ensure_room(0, 1)?;
+                self.log_internal(Record::RetireSector { sector });
+                self.stats.cleaner_records_relogged += 1;
+            }
+        }
+        for seg in mentioned_quarantines {
+            if self.usage.get(seg).state == SegState::Quarantined {
+                self.ensure_room(0, 1)?;
+                self.log_internal(Record::Quarantine { seg });
+                self.stats.cleaner_records_relogged += 1;
+            }
+        }
 
         // The forwarded copies live in the open buffer; the victim may only
         // be overwritten after they are durable.
@@ -328,16 +405,6 @@ impl<D: BlockDev> Lld<D> {
             }
         }
         bids.sort_by_key(|b| rank.get(b).copied().unwrap_or((usize::MAX, usize::MAX)));
-    }
-
-    /// Reads and decodes the summary of a segment; `Ok(None)` when the
-    /// region holds no valid summary.
-    pub(crate) fn read_summary(&mut self, seg: u32) -> Result<Option<Summary>> {
-        let mut buf = vec![0u8; self.layout.summary_bytes];
-        self.disk
-            .read_sectors(self.layout.summary_base(seg), &mut buf)
-            .map_err(dev)?;
-        Ok(crate::records::decode_summary(&buf))
     }
 
     /// Idle-period disk reorganizer (paper §3: "During idle periods the
@@ -452,7 +519,9 @@ impl<D: BlockDev> Lld<D> {
                         e.stored_len as usize,
                     );
                     let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
-                    self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                    if self.read_span_retrying(start, &mut sectors)?.is_some() {
+                        continue; // Unreadable: leave it; scrub handles it.
+                    }
                     let begin = e.offset as usize % simdisk::SECTOR_SIZE;
                     sectors[begin..begin + e.stored_len as usize].to_vec()
                 };
@@ -526,7 +595,9 @@ impl<D: BlockDev> Lld<D> {
                     self.layout
                         .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
                 let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
-                self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+                if self.read_span_retrying(start, &mut sectors)?.is_some() {
+                    continue; // Unreadable: leave it; scrub handles it.
+                }
                 let begin = e.offset as usize % simdisk::SECTOR_SIZE;
                 sectors[begin..begin + e.stored_len as usize].to_vec()
             };
@@ -559,5 +630,195 @@ impl<D: BlockDev> Lld<D> {
         }
         self.stats.reorganized_lists += 1;
         Ok(())
+    }
+
+    /// Proactive media scan: reads every segment region — data and summary
+    /// alike — so failing sectors are discovered *before* a client read
+    /// trips over them, then runs [`Self::scrub`] over whatever the scan
+    /// (and any earlier read failures) recorded as suspect. Each segment is
+    /// read whole first; only segments that stay unreadable after the
+    /// retry budget are probed sector by sector to pin down the exact bad
+    /// sectors. The checkpoint header region is not scanned — recovery
+    /// already tolerates it failing ([`crate::checkpoint::try_load`]).
+    ///
+    /// Returns what the final scrub pass returns.
+    pub fn media_scan(&mut self) -> Result<(u64, u64, u64)> {
+        self.check_up()?;
+        let mut region = vec![0u8; self.layout.segment_bytes];
+        let mut probe = vec![0u8; simdisk::SECTOR_SIZE];
+        for seg in 0..self.layout.segments {
+            let base = self.layout.segment_base(seg);
+            if self.read_span_retrying(base, &mut region)?.is_none() {
+                continue;
+            }
+            // Something in this segment is persistently failing; locate
+            // every bad sector (each failed probe records a suspect).
+            for s in base..base + self.layout.segment_sectors {
+                let _ = self.read_span_retrying(s, &mut probe)?;
+            }
+        }
+        self.scrub()
+    }
+
+    /// Scrub/relocate pass over failing media.
+    ///
+    /// Probes every suspect sector recorded by earlier read failures —
+    /// transient faults have recovered and drop out; persistent faults are
+    /// confirmed bad. Segments owning a confirmed-bad sector (plus any
+    /// segment already quarantined by the cleaner) have their live blocks
+    /// relocated into the open segment via the cleaner's forwarding
+    /// machinery, then are retired from circulation. Confirmed sectors no
+    /// longer under any live block join the persistent bad-block remap
+    /// table (durable from the next checkpoint) and are traced as
+    /// `SectorRemap` events; a sector still covered by a live block that
+    /// stayed unreadable remains suspect so the loss stays visible.
+    ///
+    /// Returns `(relocated, remapped, unreadable)`: live blocks moved off
+    /// failing segments, sectors retired into the remap table, and live
+    /// blocks that remained unreadable after all retries. Relocated copies
+    /// sit in the open segment buffer until the next flush or seal makes
+    /// them durable.
+    pub fn scrub(&mut self) -> Result<(u64, u64, u64)> {
+        self.check_up()?;
+        // Probe suspects one sector at a time with the usual retry budget.
+        let suspects: Vec<u64> = std::mem::take(&mut self.suspect_sectors)
+            .into_iter()
+            .collect();
+        let mut confirmed: BTreeSet<u64> = BTreeSet::new();
+        let mut probe = vec![0u8; simdisk::SECTOR_SIZE];
+        for s in suspects {
+            if self.bad_sectors.contains(&s) {
+                continue;
+            }
+            // A failed probe re-inserts `s` into the suspect set; it is
+            // removed again below if the sector gets remapped.
+            if self.read_span_retrying(s, &mut probe)?.is_some() {
+                confirmed.insert(s);
+            }
+        }
+
+        let mut targets: BTreeSet<u32> = confirmed
+            .iter()
+            .filter_map(|&s| self.layout.segment_of_sector(s))
+            .collect();
+        targets.extend(
+            self.usage
+                .iter()
+                .filter(|(_, u)| u.state == SegState::Quarantined)
+                .map(|(seg, _)| seg),
+        );
+
+        // Evacuate live blocks off every target segment (the cleaner's
+        // forwarding idiom, per-block so one bad sector costs one block).
+        let mut relocated = 0u64;
+        let mut unreadable = 0u64;
+        self.cleaning = true;
+        let result = (|| -> Result<()> {
+            for &seg in &targets {
+                let live: Vec<u64> = self
+                    .map
+                    .iter()
+                    .filter_map(|(bid, e)| (e.seg == seg).then_some(bid))
+                    .collect();
+                for bid in live {
+                    let Some(e) = self.map.get(bid).copied() else {
+                        continue;
+                    };
+                    if e.seg != seg {
+                        continue;
+                    }
+                    if e.stored_len == 0 {
+                        // Nothing stored on the medium; just re-point it.
+                        continue;
+                    }
+                    let (start, count) = self.layout.data_sector_span(
+                        seg,
+                        e.offset as usize,
+                        e.stored_len as usize,
+                    );
+                    let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
+                    if self.read_span_retrying(start, &mut sectors)?.is_some() {
+                        unreadable += 1;
+                        self.stats.unreadable_blocks += 1;
+                        continue;
+                    }
+                    let begin = e.offset as usize % simdisk::SECTOR_SIZE;
+                    let bytes = sectors[begin..begin + e.stored_len as usize].to_vec();
+                    self.ensure_room(bytes.len(), 1)?;
+                    // The seal inside ensure_room cannot clean (the
+                    // cleaning guard is set) but be safe about moves.
+                    let still_there = self
+                        .map
+                        .get(bid)
+                        .is_some_and(|cur| cur.seg == e.seg && cur.offset == e.offset);
+                    if !still_there {
+                        continue;
+                    }
+                    let offset = self.open.append_data(&bytes);
+                    self.log_internal(Record::WriteBlock {
+                        bid,
+                        offset,
+                        stored_len: e.stored_len,
+                        logical_len: e.logical_len,
+                        compressed: e.compressed,
+                    });
+                    self.usage.sub_live(seg, u64::from(e.stored_len));
+                    let entry = self.map.get_mut(bid).expect("checked"); // PANIC-OK: presence checked on the lines above
+                    entry.seg = OPEN_SEG;
+                    entry.offset = offset;
+                    self.open_live += u64::from(e.stored_len);
+                    self.open_bids.push(bid);
+                    relocated += 1;
+                }
+            }
+            Ok(())
+        })();
+        self.cleaning = false;
+        result?;
+
+        // Retire the targets. Their summaries stay on the medium (a
+        // recovery sweep may still need them); the checkpoint carries the
+        // quarantined state across clean restarts, and a `Quarantine`
+        // record in the metadata log carries it through a recovery sweep.
+        for &seg in &targets {
+            if self.usage.get(seg).state != SegState::Quarantined {
+                self.ensure_room(0, 1)?;
+                self.log_internal(Record::Quarantine { seg });
+            }
+            self.usage.quarantine(seg);
+        }
+
+        // Sectors still covered by a live block could not be evacuated;
+        // keep them suspect instead of declaring them remapped.
+        let mut covered: BTreeSet<u64> = BTreeSet::new();
+        for (_, e) in self.map.iter() {
+            if e.on_disk() && e.stored_len > 0 && targets.contains(&e.seg) {
+                let (start, count) =
+                    self.layout
+                        .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
+                covered.extend(start..start + count);
+            }
+        }
+        let mut remapped = 0u64;
+        for s in confirmed {
+            if covered.contains(&s) {
+                continue;
+            }
+            if !self.bad_sectors.contains(&s) {
+                self.ensure_room(0, 1)?;
+                self.bad_sectors.insert(s);
+                self.log_internal(Record::RetireSector { sector: s });
+                remapped += 1;
+                self.stats.remapped_sectors += 1;
+                self.trace(ld_trace::Event::SectorRemap { sector: s });
+            }
+            self.suspect_sectors.remove(&s);
+        }
+        self.trace(ld_trace::Event::ScrubPass {
+            relocated,
+            remapped,
+            unreadable,
+        });
+        Ok((relocated, remapped, unreadable))
     }
 }

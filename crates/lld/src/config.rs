@@ -72,6 +72,10 @@ pub struct LldConfig {
     pub cpu: CpuModel,
     /// Modeled compression bandwidth (see [`ldcomp::CostModel`]).
     pub compression_cost: ldcomp::CostModel,
+    /// Read attempts per sector span before LLD declares it unreadable
+    /// (bounded retry against transient media faults; each failed attempt
+    /// costs real simulated disk time). Clamped to at least 1.
+    pub read_retries: u32,
 }
 
 impl Default for LldConfig {
@@ -87,6 +91,7 @@ impl Default for LldConfig {
             use_nvram: true,
             cpu: CpuModel::default(),
             compression_cost: ldcomp::CostModel::default(),
+            read_retries: 4,
         }
     }
 }

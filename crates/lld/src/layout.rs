@@ -76,6 +76,14 @@ impl Layout {
         (self.summary_bytes / SECTOR_SIZE) as u64
     }
 
+    /// The segment containing `sector`, or `None` for header sectors and
+    /// sectors past the last whole segment.
+    pub fn segment_of_sector(&self, sector: u64) -> Option<u32> {
+        let rel = sector.checked_sub(HEADER_SECTORS)?;
+        let seg = rel / self.segment_sectors;
+        (seg < u64::from(self.segments)).then_some(seg as u32)
+    }
+
     /// The sector range (start, count) covering byte range
     /// `offset..offset + len` of segment `seg`'s data region, aligned
     /// outward to sector boundaries.
@@ -121,6 +129,17 @@ mod tests {
         let (start, count) = l.data_sector_span(0, 512, 512);
         assert_eq!(start, 9);
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn segment_of_sector_inverts_segment_base() {
+        let l = Layout::compute(8 + 3 * 128, 64 << 10, 4 << 10);
+        assert_eq!(l.segment_of_sector(0), None); // Header region.
+        assert_eq!(l.segment_of_sector(7), None);
+        assert_eq!(l.segment_of_sector(8), Some(0));
+        assert_eq!(l.segment_of_sector(l.segment_base(2)), Some(2));
+        assert_eq!(l.segment_of_sector(l.summary_base(2)), Some(2));
+        assert_eq!(l.segment_of_sector(8 + 3 * 128), None); // Past the end.
     }
 
     #[test]

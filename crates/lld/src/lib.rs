@@ -93,6 +93,34 @@ pub(crate) fn dev(e: DiskError) -> LdError {
     LdError::Device(e.to_string())
 }
 
+/// Reads a sector span with bounded retries against transient media
+/// faults, for code paths that run before an [`Lld`] exists (checkpoint
+/// load, recovery sweep). Returns `Ok(None)` on success, `Ok(Some(sector))`
+/// when the span stayed unreadable after all `attempts`; `retries` counts
+/// the failed attempts that were re-driven. Non-media errors propagate.
+pub(crate) fn read_sectors_retrying<D: BlockDev>(
+    disk: &mut D,
+    start: u64,
+    buf: &mut [u8],
+    attempts: u32,
+    retries: &mut u64,
+) -> Result<Option<u64>> {
+    let attempts = attempts.max(1);
+    for attempt in 1..=attempts {
+        match disk.read_sectors(start, buf) {
+            Ok(()) => return Ok(None),
+            Err(DiskError::Unreadable { sector }) => {
+                if attempt == attempts {
+                    return Ok(Some(sector));
+                }
+                *retries += 1;
+            }
+            Err(e) => return Err(dev(e)),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
 /// The log-structured Logical Disk.
 pub struct Lld<D: BlockDev> {
     pub(crate) disk: D,
@@ -142,6 +170,12 @@ pub struct Lld<D: BlockDev> {
     pub(crate) stats: LldStats,
     /// Optional event tracer; `None` costs one branch per traced site.
     pub(crate) tracer: Option<ld_trace::Tracer>,
+    /// Persistent bad-block remap table: sectors confirmed unreadable whose
+    /// live data (if any) has been relocated. Carried through checkpoints.
+    pub(crate) bad_sectors: std::collections::BTreeSet<u64>,
+    /// Sectors that failed at least one read attempt since the last scrub;
+    /// [`scrub`](Self::scrub) probes them and either clears or retires them.
+    pub(crate) suspect_sectors: std::collections::BTreeSet<u64>,
 }
 
 impl<D: BlockDev> std::fmt::Debug for Lld<D> {
@@ -238,6 +272,8 @@ impl<D: BlockDev> Lld<D> {
             heat: Vec::new(),
             stats: LldStats::default(),
             tracer: None,
+            bad_sectors: std::collections::BTreeSet::new(),
+            suspect_sectors: std::collections::BTreeSet::new(),
         }
     }
 
@@ -313,6 +349,27 @@ impl<D: BlockDev> Lld<D> {
     /// Number of free segments.
     pub fn free_segments(&self) -> u32 {
         self.usage.free_count()
+    }
+
+    /// The persistent bad-block remap table: sectors retired after
+    /// confirmed media faults, in ascending order.
+    pub fn bad_sector_table(&self) -> Vec<u64> {
+        self.bad_sectors.iter().copied().collect()
+    }
+
+    /// Sectors that failed at least one read since the last scrub and have
+    /// not yet been probed (diagnostic; [`scrub`](Self::scrub) drains it).
+    pub fn suspect_sector_count(&self) -> usize {
+        self.suspect_sectors.len()
+    }
+
+    /// Number of quarantined segments (retired from circulation because of
+    /// media faults).
+    pub fn quarantined_segments(&self) -> u32 {
+        self.usage
+            .iter()
+            .filter(|(_, u)| u.state == usage::SegState::Quarantined)
+            .count() as u32
     }
 
     /// Number of allocated blocks.
@@ -721,6 +778,38 @@ impl<D: BlockDev> Lld<D> {
         })
     }
 
+    /// Reads a sector span, re-driving the request up to the configured
+    /// retry budget when the medium reports a fault. Each failed attempt
+    /// consumed real simulated disk time (attributed to the mechanical
+    /// components it used) and is traced as a `ReadRetry` event. Returns
+    /// `Ok(None)` on success and `Ok(Some(sector))` when the span stayed
+    /// unreadable; the failing sector joins the suspect set either way so
+    /// a later [`scrub`](Self::scrub) can probe and retire it.
+    pub(crate) fn read_span_retrying(&mut self, start: u64, buf: &mut [u8]) -> Result<Option<u64>> {
+        let attempts = self.config.read_retries.max(1);
+        for attempt in 1..=attempts {
+            let t0 = self.disk.now_us();
+            match self.disk.read_sectors(start, buf) {
+                Ok(()) => return Ok(None),
+                Err(DiskError::Unreadable { sector }) => {
+                    self.suspect_sectors.insert(sector);
+                    if attempt == attempts {
+                        return Ok(Some(sector));
+                    }
+                    self.stats.retries += 1;
+                    let us = self.disk.now_us() - t0;
+                    self.trace(ld_trace::Event::ReadRetry {
+                        sector,
+                        attempt: u64::from(attempt),
+                        us,
+                    });
+                }
+                Err(e) => return Err(dev(e)),
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
     /// Reads the stored bytes of a block copy (from the open buffer or from
     /// disk).
     fn read_stored(&mut self, e: &block_map::BlockEntry) -> Result<Vec<u8>> {
@@ -736,7 +825,13 @@ impl<D: BlockDev> Lld<D> {
             self.layout
                 .data_sector_span(e.seg, e.offset as usize, e.stored_len as usize);
         let mut sectors = vec![0u8; (count as usize) * simdisk::SECTOR_SIZE];
-        self.disk.read_sectors(start, &mut sectors).map_err(dev)?;
+        if let Some(sector) = self.read_span_retrying(start, &mut sectors)? {
+            self.stats.unreadable_blocks += 1;
+            return Err(LdError::Device(format!(
+                "media fault: sector {sector} unreadable after {} attempts",
+                self.config.read_retries.max(1)
+            )));
+        }
         let begin = e.offset as usize % simdisk::SECTOR_SIZE;
         Ok(sectors[begin..begin + e.stored_len as usize].to_vec())
     }

@@ -101,6 +101,21 @@ pub enum Record {
         /// Second block.
         b: u64,
     },
+    /// Sector `sector` retired into the persistent bad-block remap table
+    /// after a scrub confirmed it unreadable. Medium health is monotone —
+    /// a retired sector never comes back — so recovery applies these
+    /// regardless of ordering, and the cleaner re-logs them like any other
+    /// live metadata.
+    RetireSector {
+        /// The retired physical sector.
+        sector: u64,
+    },
+    /// Segment `seg` quarantined: its medium is failing, so it is excluded
+    /// from allocation and cleaning forever.
+    Quarantine {
+        /// The quarantined segment.
+        seg: u32,
+    },
 }
 
 /// A record with its timestamp and ARU tag.
@@ -133,6 +148,8 @@ const T_DELETE_LIST: u8 = 7;
 const T_LIST_ORDER: u8 = 8;
 const T_END_ARU: u8 = 9;
 const T_SWAP: u8 = 10;
+const T_RETIRE_SECTOR: u8 = 11;
+const T_QUARANTINE: u8 = 12;
 // Tag byte flags.
 const F_ENDS_ARU: u8 = 0x80;
 const F_COMPRESSED: u8 = 0x40;
@@ -244,6 +261,8 @@ impl SummaryBuilder {
             Record::ListOrder { .. } => T_LIST_ORDER,
             Record::EndAru => T_END_ARU,
             Record::Swap { .. } => T_SWAP,
+            Record::RetireSector { .. } => T_RETIRE_SECTOR,
+            Record::Quarantine { .. } => T_QUARANTINE,
         };
         if s.ends_aru {
             tag |= F_ENDS_ARU;
@@ -311,6 +330,8 @@ impl SummaryBuilder {
                 put_varint(&mut self.body, a);
                 put_varint(&mut self.body, b);
             }
+            Record::RetireSector { sector } => put_varint(&mut self.body, sector),
+            Record::Quarantine { seg } => put_varint(&mut self.body, u64::from(seg)),
         }
         self.prev_ts = s.ts;
         self.count += 1;
@@ -447,6 +468,12 @@ pub fn decode_summary(data: &[u8]) -> Option<Summary> {
                 a: get_varint(body, &mut pos)?,
                 b: get_varint(body, &mut pos)?,
             },
+            T_RETIRE_SECTOR => Record::RetireSector {
+                sector: get_varint(body, &mut pos)?,
+            },
+            T_QUARANTINE => Record::Quarantine {
+                seg: get_varint(body, &mut pos)? as u32,
+            },
             _ => return None,
         };
         records.push(Stamped {
@@ -558,6 +585,18 @@ mod tests {
                 ends_aru: true,
                 aru: None,
                 rec: Record::Swap { a: 3, b: 9 },
+            },
+            Stamped {
+                ts: 114,
+                ends_aru: true,
+                aru: None,
+                rec: Record::RetireSector { sector: 123_456 },
+            },
+            Stamped {
+                ts: 114,
+                ends_aru: true,
+                aru: None,
+                rec: Record::Quarantine { seg: 17 },
             },
         ]
     }

@@ -38,7 +38,9 @@ pub(crate) fn open<D: BlockDev>(mut disk: D, config: LldConfig) -> Result<Lld<D>
         config.segment_bytes,
         config.summary_bytes,
     );
-    if let Some(state) = checkpoint::try_load(&mut disk, &layout)? {
+    let mut retries = 0u64;
+    if let Some(state) = checkpoint::try_load(&mut disk, &layout, config.read_retries, &mut retries)?
+    {
         let mut lld = Lld::from_parts(
             disk,
             config,
@@ -49,10 +51,14 @@ pub(crate) fn open<D: BlockDev>(mut disk: D, config: LldConfig) -> Result<Lld<D>
             state.ts,
             state.seq,
         );
+        lld.bad_sectors = state.bad_sectors;
         lld.stats.recovered_from_checkpoint = true;
+        lld.stats.retries += retries;
         return Ok(lld);
     }
-    sweep(disk, config, layout)
+    let mut lld = sweep(disk, config, layout)?;
+    lld.stats.retries += retries;
+    Ok(lld)
 }
 
 struct SortRec {
@@ -72,10 +78,24 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
     let mut seg_has_summary = vec![false; layout.segments as usize];
     let mut seg_max_ts = vec![0u64; layout.segments as usize];
     let mut buf = vec![0u8; layout.summary_bytes];
+    let mut sweep_retries = 0u64;
 
     for seg in 0..layout.segments {
-        disk.read_sectors(layout.summary_base(seg), &mut buf)
-            .map_err(dev)?;
+        if crate::read_sectors_retrying(
+            &mut disk,
+            layout.summary_base(seg),
+            &mut buf,
+            config.read_retries,
+            &mut sweep_retries,
+        )?
+        .is_some()
+        {
+            // A summary unreadable even after retries is treated like a
+            // torn segment write: the segment contributes nothing to the
+            // replay. The paper's guarantee ("up to the last segment
+            // successfully written") degrades by exactly this segment.
+            continue;
+        }
         let Some(summary) = decode_summary(&buf) else {
             continue;
         };
@@ -117,6 +137,22 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
                 }
                 nvram_image = Some((summary_bytes, data));
             }
+        }
+    }
+
+    // Medium-health records are monotone facts — a retired sector or a
+    // quarantined segment never comes back — so they are collected outside
+    // the timestamp replay (duplicates from cleaner re-logs collapse in
+    // the sets) and applied after the usage rebuild below.
+    let mut bad_sectors: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut quarantined: Vec<u32> = Vec::new();
+    for r in &all {
+        match r.rec {
+            Record::RetireSector { sector } => {
+                bad_sectors.insert(sector);
+            }
+            Record::Quarantine { seg } => quarantined.push(seg),
+            _ => {}
         }
     }
 
@@ -236,6 +272,20 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
             );
         }
     }
+    // Re-apply the medium's known damage before anything can allocate: a
+    // quarantined segment must never rejoin the free pool, and every
+    // retired sector's segment is quarantined (the invariant `ldck`
+    // checks), whether or not its own Quarantine record survived.
+    for &seg in &quarantined {
+        if seg < layout.segments {
+            usage.quarantine(seg);
+        }
+    }
+    for &s in &bad_sectors {
+        if let Some(seg) = layout.segment_of_sector(s) {
+            usage.quarantine(seg);
+        }
+    }
 
     // Materialize the NVRAM image into a free segment if any live block
     // still points into it.
@@ -285,12 +335,14 @@ fn sweep<D: BlockDev>(mut disk: D, config: LldConfig, layout: Layout) -> Result<
         max_ts + 1,
         max_seq + 1,
     );
+    lld.bad_sectors = bad_sectors;
     // The image is now durable on disk; clear it.
     if nvram_applied {
         lld.invalidate_nvram();
     }
     lld.stats.recovery_summaries_read = u64::from(layout.segments);
     lld.stats.recovery_us = elapsed;
+    lld.stats.retries += sweep_retries;
     lld.stats.recovery_records_discarded = discarded;
     lld.stats.recovery_orphans = orphans;
     lld.stats.recovery_nvram_applied = nvram_applied;
@@ -400,6 +452,8 @@ fn apply(map: &mut BlockMap, lists: &mut ListTable, r: &SortRec) {
                 mb.compressed = ea.compressed;
             }
         }
+        // Collected in a pre-pass (monotone facts, no ordering needed).
+        Record::RetireSector { .. } | Record::Quarantine { .. } => {}
     }
 }
 

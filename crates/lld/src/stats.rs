@@ -47,6 +47,13 @@ pub struct LldStats {
     /// Below-threshold flushes absorbed by NVRAM instead of partial
     /// segment writes (§5.3 extension).
     pub nvram_saves: u64,
+    /// Read attempts that failed on a media fault and were re-driven.
+    pub retries: u64,
+    /// Sectors retired into the persistent bad-block remap table.
+    pub remapped_sectors: u64,
+    /// Block reads (or scrub evacuations) that stayed unreadable after
+    /// all retry attempts — data loss the caller was told about.
+    pub unreadable_blocks: u64,
     /// Whether the last recovery materialized an NVRAM-held segment tail.
     pub recovery_nvram_applied: bool,
     /// Whether the last startup used the clean-shutdown checkpoint instead
@@ -97,6 +104,11 @@ impl LldStats {
                 .reorganized_lists
                 .checked_sub(earlier.reorganized_lists)?,
             nvram_saves: self.nvram_saves.checked_sub(earlier.nvram_saves)?,
+            retries: self.retries.checked_sub(earlier.retries)?,
+            remapped_sectors: self.remapped_sectors.checked_sub(earlier.remapped_sectors)?,
+            unreadable_blocks: self
+                .unreadable_blocks
+                .checked_sub(earlier.unreadable_blocks)?,
             recovery_summaries_read: self.recovery_summaries_read,
             recovery_us: self.recovery_us,
             recovery_records_discarded: self.recovery_records_discarded,

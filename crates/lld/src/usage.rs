@@ -17,6 +17,10 @@ pub enum SegState {
     /// Holds the durable copy of the current *partial* segment (§3.2); it
     /// is superseded and freed when the in-memory segment seals.
     Scratch,
+    /// Retired because of persistent media faults: never allocated, never
+    /// a cleaning victim, never released back to the free set. Live blocks
+    /// that could not be evacuated may still map into it.
+    Quarantined,
 }
 
 /// Per-segment usage information.
@@ -110,14 +114,27 @@ impl UsageTable {
         self.segs[seg as usize].state = SegState::Scratch;
     }
 
-    /// Returns a segment to the free set, zeroing its usage.
+    /// Returns a segment to the free set, zeroing its usage. A quarantined
+    /// segment stays quarantined: reusing failing media would silently
+    /// corrupt whatever lands there next.
     pub fn release(&mut self, seg: u32) {
+        if self.segs[seg as usize].state == SegState::Quarantined {
+            return;
+        }
         self.segs[seg as usize] = SegUsage {
             state: SegState::Free,
             live_bytes: 0,
             last_write_ts: 0,
         };
         self.free.insert(seg);
+    }
+
+    /// Retires a segment from circulation (media faults). Keeps the
+    /// current live-byte accounting — blocks that could not be evacuated
+    /// still map into the segment.
+    pub fn quarantine(&mut self, seg: u32) {
+        self.free.remove(&seg);
+        self.segs[seg as usize].state = SegState::Quarantined;
     }
 
     /// Adds live bytes to a segment (a block copy landed there).
@@ -292,6 +309,26 @@ mod tests {
         let a = t.alloc_near(0).unwrap();
         t.add_live(a, 1000, 1);
         assert_eq!(t.pick_victim(CleaningPolicy::Greedy, 1000, 5, None), None);
+    }
+
+    #[test]
+    fn quarantined_segments_leave_circulation_for_good() {
+        let mut t = UsageTable::new(3);
+        let a = t.alloc_near(0).unwrap();
+        t.add_live(a, 700, 4);
+        t.quarantine(a);
+        assert_eq!(t.get(a).state, SegState::Quarantined);
+        // Accounting survives (unevacuated blocks still map here).
+        assert_eq!(t.get(a).live_bytes, 700);
+        // Not a victim, not allocatable, and release is a no-op.
+        assert_eq!(t.pick_victim(CleaningPolicy::Greedy, 1000, 9, None), None);
+        t.release(a);
+        assert_eq!(t.get(a).state, SegState::Quarantined);
+        assert_eq!(t.free_count(), 2);
+        // Quarantining a free segment removes it from the free set.
+        t.quarantine(2);
+        assert_eq!(t.free_count(), 1);
+        assert!(!t.free_list().contains(&2));
     }
 
     #[test]

@@ -16,15 +16,18 @@
 //! experiment) and [`MemDisk`] (zero-cost, used by unit tests that only care
 //! about contents). Both implement [`BlockDev`].
 
+mod faults;
 mod geometry;
 mod stats;
 mod store;
 mod timing;
 
+pub use faults::FaultConfig;
 pub use geometry::{Chs, Geometry, SECTOR_SIZE};
 pub use stats::DiskStats;
 pub use timing::{hp_c3010, TimingModel};
 
+use faults::FaultState;
 use store::SparseStore;
 
 /// Errors returned by simulated block devices.
@@ -47,6 +50,13 @@ pub enum DiskError {
     Crashed,
     /// The device is down after a crash; call [`SimDisk::revive`] first.
     Down,
+    /// A media fault made this sector unreadable on this attempt (see
+    /// [`FaultConfig`]); transient faults succeed on retry, latent and
+    /// grown defects persist until the sector is abandoned.
+    Unreadable {
+        /// The sector that failed to read.
+        sector: u64,
+    },
 }
 
 impl std::fmt::Display for DiskError {
@@ -60,6 +70,9 @@ impl std::fmt::Display for DiskError {
             }
             DiskError::Crashed => write!(f, "injected crash fired during request"),
             DiskError::Down => write!(f, "device is down after a crash"),
+            DiskError::Unreadable { sector } => {
+                write!(f, "media fault: sector {sector} unreadable")
+            }
         }
     }
 }
@@ -141,6 +154,8 @@ pub struct SimDisk {
     /// Remaining sectors until an injected crash fires, if armed.
     crash_after_writes: Option<u64>,
     down: bool,
+    /// Media-fault model; `None` (the default) costs one branch per sector.
+    faults: Option<FaultState>,
     /// Optional event tracer; `None` costs one branch per request.
     tracer: Option<ld_trace::Tracer>,
 }
@@ -159,6 +174,7 @@ impl SimDisk {
             nvram: Vec::new(),
             crash_after_writes: None,
             down: false,
+            faults: None,
             tracer: None,
         }
     }
@@ -254,11 +270,31 @@ impl SimDisk {
         self.down
     }
 
-    /// Brings a crashed device back online, clearing any armed fault. The
-    /// medium retains exactly the sectors that were durably written.
+    /// Brings a crashed device back online, clearing any armed crash
+    /// countdown (so a disk crashed via [`crash_now`](Self::crash_now)
+    /// cannot immediately re-crash from a stale
+    /// [`crash_after_writes`](Self::crash_after_writes)). The medium
+    /// retains exactly the sectors that were durably written; media-fault
+    /// state (grown defects, transient counters) also survives.
     pub fn revive(&mut self) {
         self.down = false;
         self.crash_after_writes = None;
+    }
+
+    /// Enables the deterministic media-fault model. Faults survive crashes
+    /// and revives (they are properties of the medium, not of the host).
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        self.faults = Some(FaultState::new(config));
+    }
+
+    /// Disables media-fault injection.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The active fault configuration, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(|f| f.config())
     }
 
     /// The raw disk image as one contiguous byte buffer. Out-of-band
@@ -266,6 +302,21 @@ impl SimDisk {
     /// stats, and works even while the device is down after a crash.
     pub fn image_bytes(&self) -> Vec<u8> {
         self.store.snapshot()
+    }
+
+    /// Restores the medium from an [`image_bytes`](Self::image_bytes)
+    /// snapshot of an identically-sized device. Out-of-band like its
+    /// counterpart: charges no simulated time, records no stats, and does
+    /// not consult the fault model — it models swapping platters in, not
+    /// I/O. The drive's read-ahead buffer is discarded (it cached the old
+    /// platters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size does not match this device's capacity.
+    pub fn load_image(&mut self, image: &[u8]) {
+        self.store.load(image);
+        self.cache_range = (0, 0);
     }
 
     /// Positions the head and clock for a transfer: charges per-command
@@ -423,6 +474,13 @@ impl BlockDev for SimDisk {
         self.position_for(sector);
         let mut bufs: Vec<&mut [u8]> = buf.chunks_mut(SECTOR_SIZE).collect();
         self.transfer(sector, count, |disk, s| {
+            let now = disk.clock_us;
+            if let Some(f) = disk.faults.as_mut() {
+                if f.read_fails(s, now) {
+                    disk.stats.read_faults += 1;
+                    return Err(DiskError::Unreadable { sector: s });
+                }
+            }
             let idx = (s - sector) as usize;
             disk.store.read_sector(s, bufs[idx]);
             disk.stats.sectors_read += 1;
@@ -431,8 +489,17 @@ impl BlockDev for SimDisk {
         // The drive keeps reading ahead into its buffer; the head ends up
         // at the end of the buffered range.
         if self.timing.readahead_buffer_sectors > 0 {
-            let end = (sector + count + self.timing.readahead_buffer_sectors)
+            let mut end = (sector + count + self.timing.readahead_buffer_sectors)
                 .min(self.geometry.total_sectors());
+            if let Some(f) = &self.faults {
+                // Read-ahead stops at the first persistently bad sector —
+                // the drive cannot buffer what it cannot read.
+                let mut e = sector + count;
+                while e < end && !f.persistently_bad(e) {
+                    e += 1;
+                }
+                end = e;
+            }
             self.cache_range = (sector, end);
             self.head_cylinder = self.geometry.cylinder_of(end - 1);
         }
@@ -458,6 +525,11 @@ impl BlockDev for SimDisk {
             let idx = (s - sector) as usize;
             disk.store.write_sector(s, chunks[idx]);
             disk.stats.sectors_written += 1;
+            if let Some(f) = disk.faults.as_mut() {
+                // A grown defect fires silently: the write lands, the
+                // damage shows up on the next read of the sector.
+                f.write_grows_defect(s);
+            }
             Ok(())
         })
     }
@@ -541,6 +613,17 @@ impl MemDisk {
     /// [`SimDisk::image_bytes`]).
     pub fn image_bytes(&self) -> Vec<u8> {
         self.store.snapshot()
+    }
+
+    /// Restores the medium from an [`image_bytes`](Self::image_bytes)
+    /// snapshot of an identically-sized device (see
+    /// [`SimDisk::load_image`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size does not match this device's capacity.
+    pub fn load_image(&mut self, image: &[u8]) {
+        self.store.load(image);
     }
 }
 
@@ -792,6 +875,107 @@ mod tests {
         disk.write_sectors(0, &data[..512]).unwrap();
         disk.read_sectors(far + 8, &mut buf).unwrap(); // Miss again.
         assert_eq!(disk.stats().cached_reads, hits0 + 8);
+    }
+
+    // Regression guard: `revive` must clear a countdown armed by
+    // `crash_after_writes` even when the crash actually fired via
+    // `crash_now` — a revived disk with a stale countdown would re-crash
+    // on the first writes after recovery.
+    #[test]
+    fn revive_clears_stale_crash_countdown() {
+        let mut disk = small_disk();
+        disk.crash_after_writes(1000);
+        disk.crash_now();
+        assert!(disk.is_down());
+        disk.revive();
+        // Write more sectors than the stale countdown allowed; with the
+        // countdown cleared this must succeed.
+        let data = vec![1u8; 4 * SECTOR_SIZE];
+        for i in 0..300u64 {
+            disk.write_sectors(i * 4, &data).unwrap();
+        }
+        assert!(!disk.is_down());
+    }
+
+    #[test]
+    fn transient_fault_fails_then_recovers_on_retry() {
+        let mut disk = small_disk();
+        let data = vec![0x42u8; 4 * SECTOR_SIZE];
+        disk.write_sectors(64, &data).unwrap();
+        disk.set_faults(FaultConfig {
+            seed: 3,
+            transient_ppm: 1_000_000, // Every sector.
+            transient_max_failures: 2,
+            ..FaultConfig::default()
+        });
+        let mut buf = vec![0u8; 4 * SECTOR_SIZE];
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match disk.read_sectors(64, &mut buf) {
+                Ok(()) => break,
+                Err(DiskError::Unreadable { sector }) => {
+                    assert!((64..68).contains(&sector));
+                    assert!(attempts < 32, "transient faults must be bounded");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(attempts > 1, "at least one attempt must have failed");
+        assert_eq!(buf, data, "recovered read returns the true contents");
+        assert!(disk.stats().read_faults > 0);
+    }
+
+    #[test]
+    fn latent_fault_persists_and_grown_defect_triggers_on_write() {
+        let mut disk = small_disk();
+        let data = vec![7u8; SECTOR_SIZE];
+        disk.write_sectors(10, &data).unwrap();
+        disk.set_faults(FaultConfig {
+            seed: 5,
+            latent_ppm: 1_000_000,
+            ..FaultConfig::default()
+        });
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        for _ in 0..5 {
+            assert_eq!(
+                disk.read_sectors(10, &mut buf),
+                Err(DiskError::Unreadable { sector: 10 })
+            );
+        }
+        // Grown defects: readable until written.
+        let mut disk = small_disk();
+        disk.write_sectors(20, &data).unwrap();
+        disk.set_faults(FaultConfig {
+            seed: 5,
+            grown_ppm: 1_000_000,
+            ..FaultConfig::default()
+        });
+        disk.read_sectors(20, &mut buf).unwrap();
+        disk.write_sectors(20, &data).unwrap();
+        assert_eq!(
+            disk.read_sectors(20, &mut buf),
+            Err(DiskError::Unreadable { sector: 20 })
+        );
+    }
+
+    #[test]
+    fn fault_model_off_is_bit_identical_in_time_and_stats() {
+        let run = |fault_config: Option<FaultConfig>| {
+            let mut disk = small_disk();
+            if let Some(cfg) = fault_config {
+                disk.set_faults(cfg);
+            }
+            let data = vec![0x11u8; 64 << 10];
+            disk.write_sectors(0, &data).unwrap();
+            let mut buf = vec![0u8; 64 << 10];
+            disk.read_sectors(0, &mut buf).unwrap();
+            disk.read_sectors(32, &mut buf[..4096]).unwrap();
+            (disk.now_us(), *disk.stats())
+        };
+        // No fault model vs. an attached-but-all-zero-rate model: same
+        // clock, same stats — the model is free when its rates are zero.
+        assert_eq!(run(None), run(Some(FaultConfig::default())));
     }
 
     #[test]

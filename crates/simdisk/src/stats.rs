@@ -29,6 +29,8 @@ pub struct DiskStats {
     pub switch_us: u64,
     /// Per-command host and controller overhead, microseconds.
     pub overhead_us: u64,
+    /// Sector-read attempts failed by the media-fault model.
+    pub read_faults: u64,
 }
 
 impl DiskStats {
@@ -60,6 +62,7 @@ impl DiskStats {
             transfer_us: self.transfer_us.checked_sub(earlier.transfer_us)?,
             switch_us: self.switch_us.checked_sub(earlier.switch_us)?,
             overhead_us: self.overhead_us.checked_sub(earlier.overhead_us)?,
+            read_faults: self.read_faults.checked_sub(earlier.read_faults)?,
         })
     }
 }

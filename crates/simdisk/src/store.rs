@@ -54,6 +54,32 @@ impl SparseStore {
         out
     }
 
+    /// Restores the sector array from a contiguous image previously
+    /// captured with [`snapshot`](Self::snapshot). All-zero pages stay
+    /// unallocated, so sparsity survives a snapshot/load round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not a whole number of pages covering exactly
+    /// this store's capacity (i.e. anything but a [`snapshot`](Self::snapshot)
+    /// of an identically-sized store).
+    pub fn load(&mut self, image: &[u8]) {
+        assert_eq!(
+            image.len(),
+            self.total_sectors as usize * SECTOR_SIZE,
+            "image size must match device capacity"
+        );
+        for (i, chunk) in image.chunks(PAGE_BYTES).enumerate() {
+            if chunk.iter().all(|&b| b == 0) {
+                self.pages[i] = None;
+            } else {
+                let mut page = vec![0u8; PAGE_BYTES].into_boxed_slice();
+                page[..chunk.len()].copy_from_slice(chunk);
+                self.pages[i] = Some(page);
+            }
+        }
+    }
+
     /// Reads one sector into `buf`.
     ///
     /// # Panics

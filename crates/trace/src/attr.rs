@@ -21,6 +21,11 @@ pub struct Attribution {
     pub switch_us: u64,
     /// Per-command host and controller overhead.
     pub overhead_us: u64,
+    /// Memo: time consumed by read attempts that failed on a media fault
+    /// and were retried. Those attempts drove the mechanism as usual, so
+    /// their time is *already inside* the five components above; this
+    /// field is informational and excluded from [`busy_us`](Self::busy_us).
+    pub retry_us: u64,
 }
 
 impl Attribution {
@@ -57,6 +62,18 @@ impl Attribution {
             ));
         }
         out.push_str(&format!("{:<10} {busy:>12}    100.0%\n", "busy"));
+        if self.retry_us > 0 {
+            // Memo row: retry time is a subset of the components above,
+            // not a sixth component, so it sits outside the 100% total.
+            let tenths = (self.retry_us * 1000).checked_div(busy).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<10} {:>12}     {:>3}.{}%  (memo: included above)\n",
+                "retry",
+                self.retry_us,
+                tenths / 10,
+                tenths % 10
+            ));
+        }
         out
     }
 
@@ -67,7 +84,7 @@ impl Attribution {
             let tenths = (us * 1000).checked_div(busy).unwrap_or(0);
             format!("{}.{}%", tenths / 10, tenths % 10)
         };
-        format!(
+        let mut out = format!(
             "seek {} ({}) + rotation {} ({}) + transfer {} ({}) + switch {} ({}) + overhead {} ({}) = busy {} us",
             self.seek_us,
             pct(self.seek_us),
@@ -80,7 +97,11 @@ impl Attribution {
             self.overhead_us,
             pct(self.overhead_us),
             busy,
-        )
+        );
+        if self.retry_us > 0 {
+            out.push_str(&format!(" [retry memo {} us]", self.retry_us));
+        }
+        out
     }
 }
 
@@ -96,10 +117,33 @@ mod tests {
             transfer_us: 30,
             switch_us: 5,
             overhead_us: 7,
+            retry_us: 0,
         };
         assert_eq!(a.busy_us(), 72);
         let total: u64 = a.components().iter().map(|(_, us)| us).sum();
         assert_eq!(total, a.busy_us());
+    }
+
+    #[test]
+    fn retry_memo_is_excluded_from_busy_and_components() {
+        let a = Attribution {
+            seek_us: 10,
+            transfer_us: 30,
+            retry_us: 25,
+            ..Attribution::default()
+        };
+        assert_eq!(a.busy_us(), 40, "retry memo must not inflate busy");
+        let total: u64 = a.components().iter().map(|(_, us)| us).sum();
+        assert_eq!(total, 40);
+        assert!(a.render().contains("memo"));
+        assert!(a.footnote().contains("retry memo 25 us"));
+        // Zero memo leaves the rendering untouched (zero-cost when off).
+        let quiet = Attribution {
+            retry_us: 0,
+            ..a
+        };
+        assert!(!quiet.render().contains("memo"));
+        assert!(!quiet.footnote().contains("memo"));
     }
 
     #[test]
@@ -118,6 +162,7 @@ mod tests {
             transfer_us: 3,
             switch_us: 4,
             overhead_us: 5,
+            retry_us: 0,
         };
         let f = a.footnote();
         for needle in ["seek 1", "rotation 2", "transfer 3", "switch 4", "overhead 5", "busy 15"] {

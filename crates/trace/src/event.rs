@@ -149,6 +149,30 @@ pub enum Event {
         /// Operation latency.
         us: u64,
     },
+    /// LLD re-drove a read after a media fault (one event per retry).
+    ReadRetry {
+        /// Sector that failed on the previous attempt.
+        sector: u64,
+        /// Retry ordinal (1 = first retry).
+        attempt: u64,
+        /// Simulated time the failed attempt consumed (memo; this time is
+        /// already attributed to the mechanical components it used).
+        us: u64,
+    },
+    /// A failing sector was quarantined into the bad-sector remap table.
+    SectorRemap {
+        /// The retired sector.
+        sector: u64,
+    },
+    /// A scrub/relocate pass over suspect segments completed.
+    ScrubPass {
+        /// Live blocks migrated off failing media.
+        relocated: u64,
+        /// Sectors newly added to the bad-sector table.
+        remapped: u64,
+        /// Live blocks that stayed unreadable after retries.
+        unreadable: u64,
+    },
 }
 
 impl Event {
@@ -168,6 +192,9 @@ impl Event {
             Event::CleanerPass { .. } => "CleanerPass",
             Event::RecoverySweep { .. } => "RecoverySweep",
             Event::FsOp { .. } => "FsOp",
+            Event::ReadRetry { .. } => "ReadRetry",
+            Event::SectorRemap { .. } => "SectorRemap",
+            Event::ScrubPass { .. } => "ScrubPass",
         }
     }
 }
@@ -232,6 +259,18 @@ impl std::fmt::Display for TraceEvent {
             Event::FsOp { op, start_us, us } => {
                 write!(f, "FsOp         {} started {start_us}, {us} us", op.name())
             }
+            Event::ReadRetry { sector, attempt, us } => {
+                write!(f, "ReadRetry    sector {sector}, attempt {attempt}, {us} us")
+            }
+            Event::SectorRemap { sector } => write!(f, "SectorRemap  sector {sector}"),
+            Event::ScrubPass {
+                relocated,
+                remapped,
+                unreadable,
+            } => write!(
+                f,
+                "ScrubPass    relocated {relocated}, remapped {remapped}, unreadable {unreadable}"
+            ),
         }
     }
 }

@@ -87,6 +87,15 @@ pub fn encode_event(e: &TraceEvent) -> String {
         Event::FsOp { op, start_us, us } => {
             format!(",\"op\":\"{}\",\"start_us\":{start_us},\"us\":{us}", op.name())
         }
+        Event::ReadRetry { sector, attempt, us } => {
+            format!(",\"sector\":{sector},\"attempt\":{attempt},\"us\":{us}")
+        }
+        Event::SectorRemap { sector } => format!(",\"sector\":{sector}"),
+        Event::ScrubPass {
+            relocated,
+            remapped,
+            unreadable,
+        } => format!(",\"relocated\":{relocated},\"remapped\":{remapped},\"unreadable\":{unreadable}"),
     };
     format!("{head}{body}}}")
 }
@@ -149,16 +158,35 @@ pub fn decode_event(line: &str) -> Option<TraceEvent> {
             start_us: get_u64(line, "start_us")?,
             us: get_u64(line, "us")?,
         },
+        "ReadRetry" => Event::ReadRetry {
+            sector: get_u64(line, "sector")?,
+            attempt: get_u64(line, "attempt")?,
+            us: get_u64(line, "us")?,
+        },
+        "SectorRemap" => Event::SectorRemap {
+            sector: get_u64(line, "sector")?,
+        },
+        "ScrubPass" => Event::ScrubPass {
+            relocated: get_u64(line, "relocated")?,
+            remapped: get_u64(line, "remapped")?,
+            unreadable: get_u64(line, "unreadable")?,
+        },
         _ => return None,
     };
     Some(TraceEvent { at_us, seq, event })
 }
 
-/// Encodes the attribution meta line.
+/// Encodes the attribution meta line. The `retry_us` memo is emitted only
+/// when nonzero, so fault-free traces are byte-identical to the old format.
 pub fn encode_attribution(a: &Attribution) -> String {
+    let retry = if a.retry_us > 0 {
+        format!(",\"retry_us\":{}", a.retry_us)
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"meta\":\"attribution\",\"seek_us\":{},\"rotation_us\":{},\"transfer_us\":{},\"switch_us\":{},\"overhead_us\":{},\"busy_us\":{}}}",
-        a.seek_us, a.rotation_us, a.transfer_us, a.switch_us, a.overhead_us, a.busy_us()
+        "{{\"meta\":\"attribution\",\"seek_us\":{},\"rotation_us\":{},\"transfer_us\":{},\"switch_us\":{},\"overhead_us\":{}{},\"busy_us\":{}}}",
+        a.seek_us, a.rotation_us, a.transfer_us, a.switch_us, a.overhead_us, retry, a.busy_us()
     )
 }
 
@@ -173,6 +201,7 @@ pub fn decode_attribution(line: &str) -> Option<Attribution> {
         transfer_us: get_u64(line, "transfer_us")?,
         switch_us: get_u64(line, "switch_us")?,
         overhead_us: get_u64(line, "overhead_us")?,
+        retry_us: get_u64(line, "retry_us").unwrap_or(0),
     })
 }
 
@@ -196,6 +225,9 @@ mod tests {
             Event::CleanerPass { reclaimed: 3, bytes_copied: 90_000 },
             Event::RecoverySweep { summaries: 788, us: 12_000_000 },
             Event::FsOp { op: FsOpKind::Create, start_us: 100, us: 250 },
+            Event::ReadRetry { sector: 4096, attempt: 2, us: 14_000 },
+            Event::SectorRemap { sector: 4096 },
+            Event::ScrubPass { relocated: 12, remapped: 3, unreadable: 0 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let stamped = TraceEvent { at_us: 1000 + i as u64, seq: i as u64, event };
@@ -213,9 +245,16 @@ mod tests {
             transfer_us: 3,
             switch_us: 4,
             overhead_us: 5,
+            retry_us: 0,
         };
         let line = encode_attribution(&a);
+        assert!(!line.contains("retry_us"), "zero memo stays off the wire");
         assert_eq!(decode_attribution(&line), Some(a));
+        assert_eq!(get_u64(&line, "busy_us"), Some(15));
+        // Nonzero memo roundtrips and leaves busy untouched.
+        let b = Attribution { retry_us: 9, ..a };
+        let line = encode_attribution(&b);
+        assert_eq!(decode_attribution(&line), Some(b));
         assert_eq!(get_u64(&line, "busy_us"), Some(15));
     }
 

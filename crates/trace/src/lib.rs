@@ -134,6 +134,9 @@ impl Tracer {
                 }
             }
             Event::FsOp { us, .. } => inner.hist_fsop_us.record(us),
+            // Memo only: the failed attempt's time already flowed into the
+            // mechanical components via the events the disk emitted.
+            Event::ReadRetry { us, .. } => inner.attr.retry_us += us,
             _ => {}
         }
         let seq = inner.seq;

@@ -355,6 +355,23 @@ fn ci() -> ExitCode {
     let steps: &[(&str, &[&str])] = &[
         ("build", &["build", "--release"]),
         ("test", &["test", "-q", "--workspace"]),
+        // The media-fault suites re-run in release: the proptest matrices
+        // explore far more cases per second there, and release is what
+        // `repro` ships.
+        (
+            "fault suite (lld)",
+            &[
+                "test", "-q", "--release", "-p", "lld", "--test", "faults", "--test",
+                "recovery_idempotent",
+            ],
+        ),
+        (
+            "fault suite (fs)",
+            &[
+                "test", "-q", "--release", "--test", "fault_matrix", "--test",
+                "differential_fs",
+            ],
+        ),
         ("clippy", &["clippy", "--workspace", "--", "-D", "warnings"]),
         ("lint", &["run", "-q", "-p", "xtask", "--", "lint"]),
         ("ldck smoke", &["run", "-q", "-p", "ldck", "--", "--selftest"]),
