@@ -3,9 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--trace <file>] [--faults <spec>] <experiment>...
-//! repro [--quick] [--trace <file>] [--faults <spec>] all
+//! repro [--quick] [--trace <file>] [--faults <spec>] [--json-out <file>] <experiment>...
+//! repro [--quick] [--trace <file>] [--faults <spec>] [--json-out <file>] all
+//! repro --list
 //! ```
+//!
+//! `--list` prints the full experiment index (E1–E17) with one-line
+//! descriptions and paper-section anchors.
+//!
+//! `--json-out` writes a machine-readable result file alongside the
+//! rendered table for the experiments that support it (`table4`,
+//! `table5`, `queueing`) — the benchmark trajectory the committed
+//! `BENCH_*.json` files record.
 //!
 //! `--trace` writes structured JSONL event traces (see the `ld-trace`
 //! crate) for the traced experiments (`table4`, `table5`) and appends a
@@ -26,8 +35,9 @@
 //! Experiments: `calibrate` (E12), `table2` (E1), `table3` (E2), `table4`
 //! (E3), `table5` (E4), `table6` (E5), `recovery` (E6), `lists` (E7),
 //! `segsize` (E8), `inodes` (E9), `compression` (E10), `loge` (E11),
-//! `ablate` (E13), `faults` (E16). See `DESIGN.md` for the index and
-//! `EXPERIMENTS.md` for recorded results.
+//! `ablate` (E13), `nvram` (E14), `hotcold` (E15), `faults` (E16),
+//! `queueing` (E17). See `DESIGN.md` for the index and `EXPERIMENTS.md`
+//! for recorded results.
 
 use ld_bench::exp::{self, Opts};
 
@@ -48,32 +58,74 @@ const ALL: &[&str] = &[
     "hotcold",
     "ablate",
     "faults",
+    "queueing",
 ];
 
-fn dispatch(name: &str, opts: Opts) -> Option<String> {
+/// The experiment index: CLI name, experiment id, one-line description
+/// with its paper-section anchor. `repro --list` prints this.
+const INDEX: &[(&str, &str, &str)] = &[
+    ("table2", "E1", "Table 2 — LLD main memory per GB of disk (§2.3)"),
+    ("table3", "E2", "Table 3 — % cost LLD adds to a disk (§2.3)"),
+    ("table4", "E3", "Table 4 — small-file create/read/delete, files/s (§4.2)"),
+    ("table5", "E4", "Table 5 — 80 MB large-file five-phase I/O, KB/s (§4.2)"),
+    ("table6", "E5", "Table 6 — blocks written per op vs Sprite LFS (§5.1)"),
+    ("recovery", "E6", "recovery time after failure: 12 s, 788 summaries (§4.2)"),
+    ("lists", "E7", "the cost of supporting lists: ~15% on create/delete (§4.2)"),
+    ("segsize", "E8", "segment-size sweep: 512/256/128 KB within a few % (§4.2)"),
+    ("inodes", "E9", "small-i-node-block variant: reads worse, writes same (§4.2)"),
+    ("compression", "E10", "compression: 1600 KB/s write, 800 KB/s read (§4.2)"),
+    ("loge", "E11", "Loge comparison: write streams + ≥10x faster recovery (§5.2)"),
+    ("calibrate", "E12", "disk-model calibration: 2400 vs ~300 KB/s raw streams (§4.2)"),
+    ("ablate", "E13", "ablations: cleaner policy, partial-segment threshold (§3.5, §3.2)"),
+    ("nvram", "E14", "extension: NVRAM flush absorption, Baker et al. (§5.3)"),
+    ("hotcold", "E15", "extension: adaptive block rearrangement, Akyürek & Salem (§5.3)"),
+    ("faults", "E16", "extension: media faults — throughput, scrub, remap (§4.2 rig)"),
+    ("queueing", "E17", "command queueing: scheduler x depth sweep, write-behind (§4.2)"),
+];
+
+/// Runs one experiment; the second element is the machine-readable JSON
+/// document for the experiments that emit one.
+fn dispatch(name: &str, opts: Opts) -> Option<(String, Option<String>)> {
     Some(match name {
-        "calibrate" => exp::calibrate::run(opts),
-        "table2" => exp::table2::run(opts),
-        "table3" => exp::table3::run(opts),
-        "table4" => exp::table4::run(opts),
-        "table5" => exp::table5::run(opts),
-        "table6" => exp::table6::run(opts),
-        "recovery" => exp::recovery::run(opts),
-        "lists" => exp::lists::run(opts),
-        "segsize" => exp::segsize::run(opts),
-        "inodes" => exp::inodes::run(opts),
-        "compression" => exp::compression::run(opts),
-        "loge" => exp::loge_cmp::run(opts),
-        "nvram" => exp::nvram_exp::run(opts),
-        "hotcold" => exp::hotcold::run(opts),
-        "ablate" => exp::ablate::run(opts),
-        "faults" => exp::faults::run(opts),
+        "calibrate" => (exp::calibrate::run(opts), None),
+        "table2" => (exp::table2::run(opts), None),
+        "table3" => (exp::table3::run(opts), None),
+        "table4" => {
+            let (out, json) = exp::table4::run_json(opts);
+            (out, Some(json))
+        }
+        "table5" => {
+            let (out, json) = exp::table5::run_json(opts);
+            (out, Some(json))
+        }
+        "table6" => (exp::table6::run(opts), None),
+        "recovery" => (exp::recovery::run(opts), None),
+        "lists" => (exp::lists::run(opts), None),
+        "segsize" => (exp::segsize::run(opts), None),
+        "inodes" => (exp::inodes::run(opts), None),
+        "compression" => (exp::compression::run(opts), None),
+        "loge" => (exp::loge_cmp::run(opts), None),
+        "nvram" => (exp::nvram_exp::run(opts), None),
+        "hotcold" => (exp::hotcold::run(opts), None),
+        "ablate" => (exp::ablate::run(opts), None),
+        "faults" => (exp::faults::run(opts), None),
+        "queueing" => {
+            let (out, json) = exp::queueing::run_json(opts);
+            (out, Some(json))
+        }
         _ => return None,
     })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("experiments (run with `repro [--quick] <name>...`):");
+        for (name, id, desc) in INDEX {
+            println!("  {id:<4} {name:<12} {desc}");
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let trace = match args.iter().position(|a| a == "--trace") {
         Some(i) => match args.get(i + 1) {
@@ -110,6 +162,16 @@ fn main() {
         },
         None => None,
     };
+    let json_out = match args.iter().position(|a| a == "--json-out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(std::path::PathBuf::from(p)),
+            _ => {
+                eprintln!("--json-out requires a file argument");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let opts = Opts {
         quick,
         trace,
@@ -123,7 +185,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--trace" || *a == "--faults" {
+            if *a == "--trace" || *a == "--faults" || *a == "--json-out" {
                 skip_next = true;
                 return false;
             }
@@ -134,7 +196,8 @@ fn main() {
 
     if wanted.is_empty() || wanted.contains(&"help") {
         eprintln!(
-            "usage: repro [--quick] [--trace <file>] [--faults <spec>] <experiment>... | all"
+            "usage: repro [--quick] [--trace <file>] [--faults <spec>] \
+             [--json-out <file>] <experiment>... | all | --list"
         );
         eprintln!("experiments: {}", ALL.join(" "));
         std::process::exit(if wanted.is_empty() { 2 } else { 0 });
@@ -146,18 +209,49 @@ fn main() {
         wanted
     };
 
+    let mut json_docs: Vec<String> = Vec::new();
     for (i, name) in list.iter().enumerate() {
         match dispatch(name, opts.clone()) {
-            Some(out) => {
+            Some((out, json)) => {
                 if i > 0 {
                     println!("\n{}\n", "=".repeat(72));
                 }
                 println!("{out}");
+                if json_out.is_some() {
+                    if let Some(j) = json {
+                        json_docs.push(j);
+                    }
+                }
             }
             None => {
                 eprintln!("unknown experiment '{name}'; known: {}", ALL.join(" "));
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = &json_out {
+        let doc = match json_docs.len() {
+            0 => {
+                eprintln!(
+                    "--json-out: none of the requested experiments emit JSON \
+                     (supported: table4 table5 queueing)"
+                );
+                std::process::exit(2);
+            }
+            1 => json_docs.pop().expect("one doc"),
+            _ => format!(
+                "[\n{}\n]\n",
+                json_docs
+                    .iter()
+                    .map(|d| d.trim_end())
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            ),
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -1,4 +1,4 @@
-//! The experiments (E1–E13). Each module regenerates one paper artifact;
+//! The experiments (E1–E17). Each module regenerates one paper artifact;
 //! `phases` holds the two Sprite-LFS microbenchmark drivers shared by
 //! several of them.
 
@@ -12,6 +12,7 @@ pub mod lists;
 pub mod loge_cmp;
 pub mod nvram_exp;
 pub mod phases;
+pub mod queueing;
 pub mod recovery;
 pub mod segsize;
 pub mod table2;

@@ -23,8 +23,17 @@ fn fmt(r: &SmallFileResult) -> [String; 3] {
     ]
 }
 
-/// Runs both file-size variants over all three file systems.
-pub fn run(opts: super::Opts) -> String {
+fn json_row(n: usize, bytes: usize, label: &str, r: &SmallFileResult) -> String {
+    format!(
+        "    {{\"files\": {n}, \"file_bytes\": {bytes}, \"fs\": \"{label}\", \
+         \"create_per_s\": {:.1}, \"read_per_s\": {:.1}, \"delete_per_s\": {:.1}}}",
+        r.create_per_s, r.read_per_s, r.delete_per_s
+    )
+}
+
+/// Runs both file-size variants over all three file systems; also
+/// returns the machine-readable rows for `--json-out`.
+pub fn run_json(opts: super::Opts) -> (String, String) {
     let (n_small, n_big) = if opts.quick {
         (1_000, 100)
     } else {
@@ -32,6 +41,7 @@ pub fn run(opts: super::Opts) -> String {
     };
     let disk_bytes = rig::PARTITION_BYTES;
 
+    let mut json_rows: Vec<String> = Vec::new();
     let mut out =
         String::from("E3: Table 4 — small-file I/O (files/second; C=create R=read D=delete)\n\n");
     for (n, bytes, label) in [
@@ -46,6 +56,7 @@ pub fn run(opts: super::Opts) -> String {
         crate::faultctl::inject(&mut fs, &opts);
         let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
+        json_rows.push(json_row(n, bytes, fs.label(), &r));
         let c = fmt(&r);
         t.row(vec![
             fs.label().to_string(),
@@ -59,6 +70,7 @@ pub fn run(opts: super::Opts) -> String {
         let mut fs = MinixRaw(rig::minix(disk_bytes));
         let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
+        json_rows.push(json_row(n, bytes, fs.label(), &r));
         let c = fmt(&r);
         t.row(vec![
             fs.label().to_string(),
@@ -71,6 +83,7 @@ pub fn run(opts: super::Opts) -> String {
         let mut fs = Sunos(rig::sunos(disk_bytes));
         let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
         let r = small_file(&mut fs, n, bytes);
+        json_rows.push(json_row(n, bytes, fs.label(), &r));
         let c = fmt(&r);
         t.row(vec![
             fs.label().to_string(),
@@ -86,7 +99,18 @@ pub fn run(opts: super::Opts) -> String {
         }
         out.push('\n');
     }
-    out
+    let json = format!(
+        "{{\n  \"experiment\": \"table4\",\n  \"quick\": {},\n  \"unit\": \"files/s\",\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
+/// Runs both file-size variants (text report only).
+pub fn run(opts: super::Opts) -> String {
+    run_json(opts).0
 }
 
 #[cfg(test)]

@@ -30,8 +30,17 @@ fn row(label: &str, r: &LargeFileResult) -> Vec<String> {
     ]
 }
 
-/// Runs the five-phase benchmark over all three file systems.
-pub fn run(opts: super::Opts) -> String {
+fn json_row(label: &str, r: &LargeFileResult) -> String {
+    format!(
+        "    {{\"fs\": \"{label}\", \"write_seq\": {:.1}, \"read_seq\": {:.1}, \
+         \"write_rand\": {:.1}, \"read_rand\": {:.1}, \"reread_seq\": {:.1}}}",
+        r.write_seq, r.read_seq, r.write_rand, r.read_rand, r.reread_seq
+    )
+}
+
+/// Runs the five-phase benchmark over all three file systems; also
+/// returns the machine-readable rows for `--json-out`.
+pub fn run_json(opts: super::Opts) -> (String, String) {
     let file_bytes: u64 = if opts.quick { 16 << 20 } else { 80 << 20 };
     let disk_bytes = rig::PARTITION_BYTES;
     let chunk = 8192;
@@ -45,21 +54,25 @@ pub fn run(opts: super::Opts) -> String {
         "Read Seq. (2)",
     ]);
     let mut footnotes = String::new();
+    let mut json_rows: Vec<String> = Vec::new();
     let mut fs = MinixLld(rig::minix_lld(disk_bytes));
     crate::faultctl::inject(&mut fs, &opts);
     let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
     let r = large_file(&mut fs, file_bytes, chunk);
+    json_rows.push(json_row(fs.label(), &r));
     t.row(row(fs.label(), &r)).expect("row width");
     footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, "table5"));
     footnotes.push_str(&crate::faultctl::finish(fs, &opts));
     let mut fs = MinixRaw(rig::minix(disk_bytes));
     let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
     let r = large_file(&mut fs, file_bytes, chunk);
+    json_rows.push(json_row(fs.label(), &r));
     t.row(row(fs.label(), &r)).expect("row width");
     footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, "table5"));
     let mut fs = Sunos(rig::sunos(disk_bytes));
     let tr = crate::tracectl::maybe_attach(&mut fs, &opts);
     let r = large_file(&mut fs, file_bytes, chunk);
+    json_rows.push(json_row(fs.label(), &r));
     t.row(row(fs.label(), &r)).expect("row width");
     footnotes.push_str(&crate::tracectl::finish(tr, &fs, &opts, "table5"));
 
@@ -73,7 +86,19 @@ pub fn run(opts: super::Opts) -> String {
     if !footnotes.is_empty() {
         out.push_str(&format!("where the disk time went:\n{footnotes}"));
     }
-    out
+    let json = format!(
+        "{{\n  \"experiment\": \"table5\",\n  \"quick\": {},\n  \"unit\": \"KB/s\",\n  \
+         \"file_mb\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        file_bytes >> 20,
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
+/// Runs the five-phase benchmark (text report only).
+pub fn run(opts: super::Opts) -> String {
+    run_json(opts).0
 }
 
 #[cfg(test)]

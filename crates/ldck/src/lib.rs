@@ -100,6 +100,14 @@ pub enum Kind {
     LiveSegmentWithoutSummary,
     /// Two segment summaries carry the same physical-write sequence number.
     DuplicateSummarySeq,
+    /// Ordering the valid summaries by physical-write sequence disagrees
+    /// with ordering them by newest record timestamp. Record timestamps
+    /// are assigned before their segment write is submitted and segment
+    /// writes reach the medium in submission order (the command queue
+    /// keeps writes FIFO and fences seals), so a later-sequenced summary
+    /// whose newest record is *older* means a write was reordered across
+    /// a seal.
+    SealReordered,
     /// A block's logical length exceeds its size class.
     SizeClassViolation,
     /// A list's successor chain revisits a block (cycle or cross-link).
@@ -150,6 +158,7 @@ impl Kind {
             Kind::LiveBytesMismatch => "live-bytes-mismatch",
             Kind::LiveSegmentWithoutSummary => "live-segment-without-summary",
             Kind::DuplicateSummarySeq => "duplicate-summary-seq",
+            Kind::SealReordered => "seal-reordered",
             Kind::SizeClassViolation => "size-class-violation",
             Kind::ListCycle => "list-cycle",
             Kind::DanglingLink => "dangling-link",
@@ -324,6 +333,7 @@ pub fn check_image(image: &[u8], config: &LldConfig) -> Report {
         .map(|s| s.records.len() as u64)
         .sum();
     check_summary_seqs(&summaries, &mut report);
+    check_summary_order(&summaries, &mut report);
 
     match peek_image(image, &layout) {
         CheckpointPeek::Corrupt(msg) => {
@@ -398,6 +408,42 @@ fn check_summary_seqs(summaries: &[Option<Summary>], report: &mut Report) {
                 Kind::DuplicateSummarySeq,
                 Some(seg as u32),
                 format!("summary seq {} also claimed by segment {prev}", s.seq),
+            );
+        }
+    }
+}
+
+/// Write-order invariant: every record's timestamp is assigned before the
+/// segment holding it is submitted, segment buffers only grow between
+/// seals, and segment writes reach the medium in submission order. So
+/// walking the valid summaries in physical-write-sequence order must see
+/// non-decreasing newest-record timestamps. A decrease means a
+/// later-submitted segment landed while an earlier one did not — a queued
+/// write silently reordered across a seal.
+fn check_summary_order(summaries: &[Option<Summary>], report: &mut Report) {
+    let mut by_seq: Vec<(u64, u64, u32)> = summaries
+        .iter()
+        .enumerate()
+        .filter_map(|(seg, summary)| {
+            let s = summary.as_ref()?;
+            let max_ts = s.records.iter().map(|r| r.ts).max()?;
+            Some((s.seq, max_ts, seg as u32))
+        })
+        .collect();
+    by_seq.sort_unstable();
+    for w in by_seq.windows(2) {
+        let (prev_seq, prev_ts, prev_seg) = w[0];
+        let (seq, ts, seg) = w[1];
+        if ts < prev_ts {
+            report.push(
+                Severity::Error,
+                Kind::SealReordered,
+                Some(seg),
+                format!(
+                    "write seq {seq} holds newest record ts {ts}, but earlier \
+                     write seq {prev_seq} (segment {prev_seg}) already reached \
+                     ts {prev_ts} — a write was reordered across a seal"
+                ),
             );
         }
     }

@@ -273,6 +273,42 @@ fn overlapping_extents_are_flagged() {
     );
 }
 
+/// Class 6: a summary whose physical-write sequence says "latest" but
+/// whose newest record timestamp is older than records already durable
+/// under earlier sequences — the signature of a queued segment write
+/// reordered across a seal (the command queue must keep writes FIFO).
+#[test]
+fn reordered_seal_is_flagged() {
+    let (mut image, layout, view) = clean_image();
+    image[6] = 0; // Sweep mode; the checkpoint is not under test.
+
+    // Newest sequence on the medium, but a timestamp from the distant
+    // past: as if this segment write jumped the queue.
+    let mut b = SummaryBuilder::new();
+    b.push(Stamped {
+        ts: 2,
+        ends_aru: true,
+        aru: None,
+        rec: Record::EndAru,
+    });
+    let summary = b.finish(view.seq + 10, layout.summary_bytes);
+    let free_seg = view
+        .usage
+        .iter()
+        .position(|u| u.state == SegStateView::Free)
+        .expect("a free segment") as u32;
+    let base = layout.summary_base(free_seg) as usize * SECTOR_SIZE;
+    image[base..base + layout.summary_bytes].copy_from_slice(&summary);
+
+    let report = check_image(&image, &config());
+    assert!(!report.is_clean());
+    assert!(
+        kinds(&report).contains(&Kind::SealReordered),
+        "wrong findings: {:?}",
+        report.findings
+    );
+}
+
 /// A trailing explicit ARU that never ended is *not* corruption: recovery
 /// discards it by design (§3.1). `ldck` reports it as info and stays
 /// green.

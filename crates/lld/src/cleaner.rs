@@ -56,21 +56,102 @@ impl<D: BlockDev> Lld<D> {
     fn clean_to_reserve_inner(&mut self) -> Result<()> {
         self.stats.cleaner_runs += 1;
         while self.usage.free_count() <= self.config.cleaning_reserve_segments {
-            let victim = self.usage.pick_victim(
-                self.config.cleaning_policy,
-                self.layout.data_bytes as u64,
-                self.ts,
-                None,
-            );
-            let Some(victim) = victim else {
-                // Nothing cleanable beyond what is already pending.
-                self.drain_pending_if_starved()?;
-                return Ok(());
-            };
-            self.clean_segment(victim)?;
+            let batch = self.victim_batch();
+            if batch == 1 {
+                let victim = self.usage.pick_victim(
+                    self.config.cleaning_policy,
+                    self.layout.data_bytes as u64,
+                    self.ts,
+                    None,
+                );
+                let Some(victim) = victim else {
+                    // Nothing cleanable beyond what is already pending.
+                    self.drain_pending_if_starved()?;
+                    return Ok(());
+                };
+                self.clean_segment(victim)?;
+            } else {
+                let victims = self.usage.pick_victims(
+                    self.config.cleaning_policy,
+                    self.layout.data_bytes as u64,
+                    self.ts,
+                    batch,
+                );
+                if victims.is_empty() {
+                    self.drain_pending_if_starved()?;
+                    return Ok(());
+                }
+                self.clean_batch(&victims)?;
+            }
             self.drain_pending_if_starved()?;
         }
         Ok(())
+    }
+
+    /// Victims cleaned per cleaner iteration: one on the direct path,
+    /// `queue_depth` when the command queue can prefetch them in one
+    /// scheduler pass.
+    fn victim_batch(&self) -> usize {
+        if self.config.queue_depth >= 2 {
+            self.config.queue_depth as usize
+        } else {
+            1
+        }
+    }
+
+    /// Cleans a batch of victims, prefetching each victim's whole segment
+    /// (data and summary are contiguous) as one queued read; the scheduler
+    /// orders the batch by position instead of by cost-benefit rank. A
+    /// victim whose prefetch fails falls back to [`Self::clean_segment`]'s
+    /// per-span retry path.
+    fn clean_batch(&mut self, victims: &[u32]) -> Result<()> {
+        let images = self.prefetch_segments(victims)?;
+        for (&victim, image) in victims.iter().zip(images) {
+            self.clean_segment_with(victim, image)?;
+        }
+        Ok(())
+    }
+
+    /// Submits one whole-segment read per victim to the command queue and
+    /// dispatches until all complete. Returns the segment images in victim
+    /// order; a `None` means that read failed on a media fault (single
+    /// attempt — the caller's fallback path owns retries). Write
+    /// completions drained along the way propagate their errors.
+    fn prefetch_segments(&mut self, victims: &[u32]) -> Result<Vec<Option<Vec<u8>>>> {
+        let q = self.queue.as_mut().expect("batching requires a queue"); // PANIC-OK: victim_batch returns 1 when queueing is off
+        let mut tags = Vec::with_capacity(victims.len());
+        for &v in victims {
+            tags.push(q.submit_read(
+                &self.disk,
+                self.layout.segment_base(v),
+                self.layout.segment_sectors,
+            ));
+        }
+        self.stats.queued_reads += victims.len() as u64;
+        let mut images: Vec<Option<Vec<u8>>> = vec![None; victims.len()];
+        let q = self.queue.as_mut().expect("still present"); // PANIC-OK: checked above
+        while !q.is_empty() {
+            let Some(c) = q.dispatch_one(&mut self.disk) else {
+                break;
+            };
+            match c.result {
+                Ok(Some(buf)) => {
+                    if let Some(i) = tags.iter().position(|&t| t == c.tag) {
+                        images[i] = Some(buf);
+                    }
+                }
+                Ok(None) => {} // An in-flight seal landed on the way.
+                Err(simdisk::DiskError::Unreadable { .. }) if !c.write => {
+                    // Leave the image absent; the per-victim fallback
+                    // re-reads with the retry budget and owns quarantine.
+                }
+                Err(e) => {
+                    q.abandon();
+                    return Err(crate::dev(e));
+                }
+            }
+        }
+        Ok(images)
     }
 
     /// Reclaimed victims wait in `pending_free` until their forwarded
@@ -129,6 +210,13 @@ impl<D: BlockDev> Lld<D> {
     /// and re-logs its live metadata records, then queues the segment for
     /// release once the forwarded copies are durable.
     fn clean_segment(&mut self, victim: u32) -> Result<()> {
+        self.clean_segment_with(victim, None)
+    }
+
+    /// [`Self::clean_segment`] with an optional prefetched whole-segment
+    /// image (data region followed by summary, as laid out on disk). With
+    /// an image, the victim is cleaned without touching the medium again.
+    fn clean_segment_with(&mut self, victim: u32, prefetch: Option<Vec<u8>>) -> Result<()> {
         debug_assert_eq!(self.usage.get(victim).state, SegState::Live);
 
         // Live blocks are found from the block-number map (authoritative);
@@ -147,10 +235,16 @@ impl<D: BlockDev> Lld<D> {
         let mut mentioned_quarantines: HashSet<u32> = HashSet::new();
         let summary = {
             let mut buf = vec![0u8; self.layout.summary_bytes];
-            if self
-                .read_span_retrying(self.layout.summary_base(victim), &mut buf)?
-                .is_some()
-            {
+            let readable = match &prefetch {
+                Some(img) => {
+                    buf.copy_from_slice(&img[self.layout.data_bytes..]);
+                    true
+                }
+                None => self
+                    .read_span_retrying(self.layout.summary_base(victim), &mut buf)?
+                    .is_none(),
+            };
+            if !readable {
                 // The summary holds the only copy of this segment's
                 // metadata records; without it the segment cannot be
                 // reclaimed safely. Retire it instead — the summary stays
@@ -210,9 +304,15 @@ impl<D: BlockDev> Lld<D> {
         let mut unreadable_live = false;
         if !live.is_empty() {
             let mut data = vec![0u8; self.layout.data_bytes];
-            let whole_region = self
-                .read_span_retrying(self.layout.segment_base(victim), &mut data)?
-                .is_none();
+            let whole_region = match &prefetch {
+                Some(img) => {
+                    data.copy_from_slice(&img[..self.layout.data_bytes]);
+                    true
+                }
+                None => self
+                    .read_span_retrying(self.layout.segment_base(victim), &mut data)?
+                    .is_none(),
+            };
             for bid in live {
                 let e = *self.map.get(bid).expect("liveness checked"); // PANIC-OK: the cleaner only visits bids its liveness check kept
                 if e.seg != victim {
@@ -681,15 +781,41 @@ impl<D: BlockDev> Lld<D> {
     pub fn scrub(&mut self) -> Result<(u64, u64, u64)> {
         self.check_up()?;
         // Probe suspects one sector at a time with the usual retry budget.
-        let suspects: Vec<u64> = std::mem::take(&mut self.suspect_sectors)
+        let mut suspects: Vec<u64> = std::mem::take(&mut self.suspect_sectors)
             .into_iter()
+            .filter(|s| !self.bad_sectors.contains(s))
             .collect();
+        if self.config.queue_depth >= 2 && suspects.len() > 1 {
+            // First pass: single-attempt probes through the command queue,
+            // visited in scheduler order instead of sector order. Sectors
+            // that read clean (transient faults) drop out here; only the
+            // failures get the full retry-budget probe below.
+            let q = self.queue.as_mut().expect("depth >= 2 implies a queue"); // PANIC-OK: the queue exists whenever queue_depth >= 1
+            for &s in &suspects {
+                q.submit_read(&self.disk, s, 1);
+            }
+            self.stats.queued_reads += suspects.len() as u64;
+            let mut failed = Vec::new();
+            while !q.is_empty() {
+                let Some(c) = q.dispatch_one(&mut self.disk) else {
+                    break;
+                };
+                match c.result {
+                    Ok(_) => {}
+                    Err(simdisk::DiskError::Unreadable { .. }) if !c.write => {
+                        failed.push(c.sector);
+                    }
+                    Err(e) => {
+                        q.abandon();
+                        return Err(crate::dev(e));
+                    }
+                }
+            }
+            suspects = failed;
+        }
         let mut confirmed: BTreeSet<u64> = BTreeSet::new();
         let mut probe = vec![0u8; simdisk::SECTOR_SIZE];
         for s in suspects {
-            if self.bad_sectors.contains(&s) {
-                continue;
-            }
             // A failed probe re-inserts `s` into the suspect set; it is
             // removed again below if the sector gets remapped.
             if self.read_span_retrying(s, &mut probe)?.is_some() {

@@ -76,6 +76,24 @@ pub struct LldConfig {
     /// (bounded retry against transient media faults; each failed attempt
     /// costs real simulated disk time). Clamped to at least 1.
     pub read_retries: u32,
+    /// Tagged-command-queue depth. `0` disables queueing entirely — every
+    /// request takes the direct depth-1 path, bit-identical to an LLD
+    /// built without the queue. `1` routes segment writes through the
+    /// queue but drains synchronously after each submit (identical
+    /// timing; exercised by the differential test). `>= 2` additionally
+    /// enables batched cleaner victim reads and batched scrub probes at
+    /// this depth.
+    pub queue_depth: u32,
+    /// Sealed segments allowed in flight (submitted but not yet on the
+    /// medium) before a seal blocks and drains — write-behind. Clamped to
+    /// `queue_depth - 1`; meaningless when `queue_depth <= 1`. A crash
+    /// loses at most the in-flight (unacknowledged) seals, never an
+    /// acknowledged flush.
+    pub writeback_depth: u32,
+    /// Scheduler ordering queued requests (see [`simdisk::Scheduler`]).
+    /// Writes always dispatch in submission order regardless of policy;
+    /// the scheduler only reorders reads between them.
+    pub scheduler: simdisk::Scheduler,
 }
 
 impl Default for LldConfig {
@@ -92,6 +110,9 @@ impl Default for LldConfig {
             cpu: CpuModel::default(),
             compression_cost: ldcomp::CostModel::default(),
             read_retries: 4,
+            queue_depth: 0,
+            writeback_depth: 0,
+            scheduler: simdisk::Scheduler::Fcfs,
         }
     }
 }
@@ -115,6 +136,17 @@ impl LldConfig {
     /// Payload bytes available in each segment.
     pub fn segment_data_bytes(&self) -> usize {
         self.segment_bytes - self.summary_bytes
+    }
+
+    /// Sealed segments allowed in flight after a seal submits — the
+    /// write-behind allowance actually applied at runtime (the configured
+    /// `writeback_depth` clamped to the queue capacity).
+    pub fn writeback_allowance(&self) -> usize {
+        if self.queue_depth <= 1 {
+            0
+        } else {
+            self.writeback_depth.min(self.queue_depth - 1) as usize
+        }
     }
 
     /// Validates internal consistency.

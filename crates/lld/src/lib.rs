@@ -168,6 +168,16 @@ pub struct Lld<D: BlockDev> {
     /// [`reorganize_hot`](Self::reorganize_hot) so estimates age out.
     pub(crate) heat: Vec<u32>,
     pub(crate) stats: LldStats,
+    /// Tagged command queue (present iff `config.queue_depth >= 1`).
+    /// Segment writes submit here; every direct read or write of the
+    /// medium first drains it, so queued writes are never reordered
+    /// against unqueued I/O.
+    pub(crate) queue: Option<simdisk::RequestQueue>,
+    /// An NVRAM invalidation deferred because the seal that supersedes
+    /// the NVRAM image is still in flight in the queue. Invalidating
+    /// earlier would open a crash window where neither the NVRAM nor the
+    /// medium holds acknowledged data.
+    pub(crate) nvram_invalidate_deferred: bool,
     /// Optional event tracer; `None` costs one branch per traced site.
     pub(crate) tracer: Option<ld_trace::Tracer>,
     /// Persistent bad-block remap table: sectors confirmed unreadable whose
@@ -244,6 +254,8 @@ impl<D: BlockDev> Lld<D> {
     ) -> Self {
         let allocated_logical = map.iter().map(|(_, e)| u64::from(e.size_class)).sum();
         let open = SegmentBuffer::new(layout.data_bytes, layout.summary_bytes);
+        let queue = (config.queue_depth >= 1)
+            .then(|| simdisk::RequestQueue::new(config.scheduler, true));
         Self {
             disk,
             config,
@@ -271,6 +283,8 @@ impl<D: BlockDev> Lld<D> {
             dirty: false,
             heat: Vec::new(),
             stats: LldStats::default(),
+            queue,
+            nvram_invalidate_deferred: false,
             tracer: None,
             bad_sectors: std::collections::BTreeSet::new(),
             suspect_sectors: std::collections::BTreeSet::new(),
@@ -304,11 +318,17 @@ impl<D: BlockDev> Lld<D> {
                 },
             );
         }
+        if let Some(q) = &mut self.queue {
+            q.set_tracer(tracer.clone());
+        }
         self.tracer = Some(tracer);
     }
 
     /// Detaches the tracer, if any.
     pub fn clear_tracer(&mut self) {
+        if let Some(q) = &mut self.queue {
+            q.clear_tracer();
+        }
         self.tracer = None;
     }
 
@@ -349,6 +369,18 @@ impl<D: BlockDev> Lld<D> {
     /// Number of free segments.
     pub fn free_segments(&self) -> u32 {
         self.usage.free_count()
+    }
+
+    /// Statistics of the tagged command queue (depth histogram inputs,
+    /// coalescing counters), when queueing is on.
+    pub fn queue_stats(&self) -> Option<simdisk::QueueStats> {
+        self.queue.as_ref().map(|q| *q.stats())
+    }
+
+    /// Requests currently in flight in the command queue (0 when
+    /// queueing is off or everything has drained).
+    pub fn queue_inflight(&self) -> usize {
+        self.queue.as_ref().map_or(0, |q| q.len())
     }
 
     /// The persistent bad-block remap table: sectors retired after
@@ -572,6 +604,41 @@ impl<D: BlockDev> Lld<D> {
         Ok(())
     }
 
+    /// Dispatches queued requests until at most `allow` remain pending,
+    /// propagating the first device failure (a failed queued write is a
+    /// dying drive; the rest of the queue is abandoned like a powered-off
+    /// controller's). No-op when queueing is off.
+    pub(crate) fn drain_queue_to(&mut self, allow: usize) -> Result<()> {
+        let Some(q) = self.queue.as_mut() else {
+            return Ok(());
+        };
+        while q.len() > allow {
+            let Some(c) = q.dispatch_one(&mut self.disk) else {
+                break;
+            };
+            if let Err(e) = c.result {
+                q.abandon();
+                return Err(dev(e));
+            }
+        }
+        if self.nvram_invalidate_deferred && self.queue.as_ref().is_some_and(|q| q.is_empty()) {
+            self.nvram_invalidate_deferred = false;
+            self.invalidate_nvram();
+        }
+        Ok(())
+    }
+
+    /// Fully drains the command queue. Every direct read or write of the
+    /// medium calls this first, so queued writes are never reordered
+    /// against unqueued I/O — the fence that keeps write-behind
+    /// crash-consistent.
+    pub(crate) fn drain_queue(&mut self) -> Result<()> {
+        if self.queue.as_ref().is_some_and(|q| !q.is_empty()) {
+            self.stats.queue_drains += 1;
+        }
+        self.drain_queue_to(0)
+    }
+
     /// Adjusts accounting when a block's old copy dies (rewrite or delete).
     pub(crate) fn kill_copy(&mut self, entry: &block_map::BlockEntry) {
         if entry.seg == OPEN_SEG {
@@ -596,9 +663,19 @@ impl<D: BlockDev> Lld<D> {
         let fill_bytes = self.open.data_used() as u64;
         let bytes = self.open.encode_full(seq);
         let t0 = self.disk.now_us();
-        self.disk
-            .write_sectors(self.layout.segment_base(seg), &bytes)
-            .map_err(dev)?;
+        if let Some(q) = self.queue.as_mut() {
+            // Write-behind: submit and only drain down to the allowance.
+            // Submission costs no simulated time; the device time is paid
+            // when the scheduler dispatches (possibly coalesced with an
+            // adjacent seal).
+            q.submit_write(&self.disk, self.layout.segment_base(seg), &bytes);
+            self.stats.queued_segment_writes += 1;
+            self.drain_queue_to(self.config.writeback_allowance())?;
+        } else {
+            self.disk
+                .write_sectors(self.layout.segment_base(seg), &bytes)
+                .map_err(dev)?;
+        }
         let write_us = self.disk.now_us() - t0;
         self.trace(ld_trace::Event::SegmentSeal {
             seg,
@@ -633,7 +710,14 @@ impl<D: BlockDev> Lld<D> {
         self.last_seg_hint = seg;
         self.dirty = false;
         self.stats.segments_sealed += 1;
-        self.invalidate_nvram();
+        if self.queue.as_ref().is_some_and(|q| !q.is_empty()) {
+            // The seal superseding the NVRAM image is still in flight;
+            // invalidate only once it is on the medium (see
+            // `nvram_invalidate_deferred`).
+            self.nvram_invalidate_deferred = true;
+        } else {
+            self.invalidate_nvram();
+        }
 
         if self.usage.free_count() <= self.config.cleaning_reserve_segments && !self.cleaning {
             // Per-record ARU ids let cleaner records interleave with open
@@ -649,6 +733,9 @@ impl<D: BlockDev> Lld<D> {
     /// segment strategy (§3.2). Costs one extra seek and write; the scratch
     /// is recycled with zero cleaning work when the segment seals.
     pub(crate) fn partial_flush(&mut self) -> Result<()> {
+        // The partial image is written directly; earlier queued seals must
+        // be on the medium first (log-order fence).
+        self.drain_queue()?;
         let seg = self
             .usage
             .alloc_near(self.last_seg_hint)
@@ -702,6 +789,9 @@ impl<D: BlockDev> Lld<D> {
         if capacity < needed {
             return Ok(false);
         }
+        // The NVRAM image acknowledges the open tail as durable; records
+        // it holds must never outlive seals still in flight, so fence.
+        self.drain_queue()?;
         let seq = self.next_seq();
         let (prefix, summary) = self.open.encode_partial(seq);
         let image = nvram::encode_image(&prefix, &summary);
@@ -786,6 +876,9 @@ impl<D: BlockDev> Lld<D> {
     /// unreadable; the failing sector joins the suspect set either way so
     /// a later [`scrub`](Self::scrub) can probe and retire it.
     pub(crate) fn read_span_retrying(&mut self, start: u64, buf: &mut [u8]) -> Result<Option<u64>> {
+        // A direct read must observe every queued write (the queue itself
+        // orders only its own requests).
+        self.drain_queue()?;
         let attempts = self.config.read_retries.max(1);
         for attempt in 1..=attempts {
             let t0 = self.disk.now_us();
@@ -1109,6 +1202,8 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
         } else if !self.try_nvram_save()? {
             self.partial_flush()?;
         }
+        // Flush is the durability point: nothing may stay in flight.
+        self.drain_queue()?;
         Ok(())
     }
 
@@ -1387,6 +1482,7 @@ impl<D: BlockDev> LogicalDisk for Lld<D> {
             self.end_aru_id(AruId(id))?;
         }
         self.seal()?;
+        self.drain_queue()?;
         checkpoint::write_checkpoint(self)?;
         self.shut_down = true;
         Ok(())

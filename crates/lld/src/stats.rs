@@ -54,6 +54,15 @@ pub struct LldStats {
     /// Block reads (or scrub evacuations) that stayed unreadable after
     /// all retry attempts — data loss the caller was told about.
     pub unreadable_blocks: u64,
+    /// Segment writes (seals and partial-flush images) submitted through
+    /// the tagged command queue instead of the direct path.
+    pub queued_segment_writes: u64,
+    /// Reads submitted through the queue: batched cleaner victim
+    /// prefetches and batched scrub probes.
+    pub queued_reads: u64,
+    /// Times a non-empty queue was drained to empty (every read, flush,
+    /// and checkpoint fences behind all in-flight writes).
+    pub queue_drains: u64,
     /// Whether the last recovery materialized an NVRAM-held segment tail.
     pub recovery_nvram_applied: bool,
     /// Whether the last startup used the clean-shutdown checkpoint instead
@@ -109,6 +118,11 @@ impl LldStats {
             unreadable_blocks: self
                 .unreadable_blocks
                 .checked_sub(earlier.unreadable_blocks)?,
+            queued_segment_writes: self
+                .queued_segment_writes
+                .checked_sub(earlier.queued_segment_writes)?,
+            queued_reads: self.queued_reads.checked_sub(earlier.queued_reads)?,
+            queue_drains: self.queue_drains.checked_sub(earlier.queue_drains)?,
             recovery_summaries_read: self.recovery_summaries_read,
             recovery_us: self.recovery_us,
             recovery_records_discarded: self.recovery_records_discarded,

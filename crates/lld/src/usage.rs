@@ -217,6 +217,37 @@ impl UsageTable {
                 .map(|(i, _)| i as u32),
         }
     }
+
+    /// Picks up to `max` cleaning victims at once, best first — the
+    /// batched form of [`pick_victim`](Self::pick_victim) used when the
+    /// command queue lets the cleaner prefetch several victims in one
+    /// scheduler pass. Ties break toward the lower segment id so the
+    /// batch is deterministic.
+    pub fn pick_victims(
+        &self,
+        policy: CleaningPolicy,
+        data_bytes: u64,
+        now_ts: u64,
+        max: usize,
+    ) -> Vec<u32> {
+        let mut cands: Vec<(u32, &SegUsage)> = self
+            .segs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SegState::Live && s.live_bytes < data_bytes)
+            .map(|(i, s)| (i as u32, s))
+            .collect();
+        match policy {
+            CleaningPolicy::Greedy => cands.sort_by_key(|(i, s)| (s.live_bytes, *i)),
+            CleaningPolicy::CostBenefit => cands.sort_by(|(ia, a), (ib, b)| {
+                cost_benefit(b, data_bytes, now_ts)
+                    .total_cmp(&cost_benefit(a, data_bytes, now_ts))
+                    .then(ia.cmp(ib))
+            }),
+        }
+        cands.truncate(max);
+        cands.into_iter().map(|(i, _)| i).collect()
+    }
 }
 
 fn cost_benefit(s: &SegUsage, data_bytes: u64, now_ts: u64) -> f64 {

@@ -18,12 +18,14 @@
 
 mod faults;
 mod geometry;
+pub mod queue;
 mod stats;
 mod store;
 mod timing;
 
 pub use faults::FaultConfig;
 pub use geometry::{Chs, Geometry, SECTOR_SIZE};
+pub use queue::{Completion, QueueStats, RequestQueue, Scheduler};
 pub use stats::DiskStats;
 pub use timing::{hp_c3010, TimingModel};
 
@@ -135,6 +137,28 @@ pub trait BlockDev {
             sector: 0,
             count: buf.len() as u64,
         })
+    }
+
+    /// Scheduling hint: the cylinder holding `sector`. Devices without
+    /// mechanical positions (see [`MemDisk`]) return 0, which degrades
+    /// every scheduler in [`queue`] to FCFS tie-breaking.
+    fn sched_cylinder(&self, sector: u64) -> u64 {
+        let _ = sector;
+        0
+    }
+
+    /// Scheduling hint: the cylinder the head currently rests on.
+    fn sched_head_cylinder(&self) -> u64 {
+        0
+    }
+
+    /// Scheduling hint: estimated positioning cost (command overhead +
+    /// seek + rotational wait, in microseconds) to begin a transfer at
+    /// `sector` if it were dispatched right now. Pure: consults only the
+    /// simulated clock and head position, never moves either.
+    fn sched_access_us(&self, sector: u64) -> u64 {
+        let _ = sector;
+        0
     }
 }
 
@@ -466,6 +490,7 @@ impl BlockDev for SimDisk {
             return Ok(());
         }
         if self.timing.readahead_buffer_sectors > 0 {
+            self.stats.cache_misses += 1;
             self.trace(ld_trace::Event::CacheMiss {
                 sector,
                 sectors: count,
@@ -575,6 +600,35 @@ impl BlockDev for SimDisk {
         buf.copy_from_slice(&self.nvram[offset..offset + buf.len()]);
         self.clock_us += 2 * (buf.len().div_ceil(512) as u64);
         Ok(())
+    }
+
+    fn sched_cylinder(&self, sector: u64) -> u64 {
+        if sector >= self.geometry.total_sectors() {
+            return 0;
+        }
+        u64::from(self.geometry.cylinder_of(sector))
+    }
+
+    fn sched_head_cylinder(&self) -> u64 {
+        u64::from(self.head_cylinder)
+    }
+
+    fn sched_access_us(&self, sector: u64) -> u64 {
+        // Mirrors `position_for` without side effects: overhead, then the
+        // seek, then the rotational wait evaluated at the clock the platter
+        // would show once the head arrives.
+        if sector >= self.geometry.total_sectors() {
+            return u64::MAX;
+        }
+        let chs = self.geometry.chs(sector);
+        let seek = self
+            .timing
+            .seek_us(&self.geometry, self.head_cylinder, chs.cylinder);
+        let arrive = self.clock_us + self.timing.command_overhead_us + seek;
+        let rot = self
+            .timing
+            .rotational_wait_us(&self.geometry, arrive, chs.sector);
+        self.timing.command_overhead_us + seek + rot
     }
 }
 

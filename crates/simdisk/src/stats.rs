@@ -11,6 +11,10 @@ pub struct DiskStats {
     pub read_ops: u64,
     /// Read requests served entirely from the drive's read-ahead buffer.
     pub cached_reads: u64,
+    /// Read requests that missed the read-ahead buffer and went to the
+    /// medium (only counted while the drive has a read-ahead buffer, so
+    /// `cached_reads + cache_misses == read_ops` on such drives).
+    pub cache_misses: u64,
     /// Number of write requests.
     pub write_ops: u64,
     /// Sectors read.
@@ -53,6 +57,7 @@ impl DiskStats {
         Some(DiskStats {
             read_ops: self.read_ops.checked_sub(earlier.read_ops)?,
             cached_reads: self.cached_reads.checked_sub(earlier.cached_reads)?,
+            cache_misses: self.cache_misses.checked_sub(earlier.cache_misses)?,
             write_ops: self.write_ops.checked_sub(earlier.write_ops)?,
             sectors_read: self.sectors_read.checked_sub(earlier.sectors_read)?,
             sectors_written: self.sectors_written.checked_sub(earlier.sectors_written)?,

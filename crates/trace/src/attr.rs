@@ -26,6 +26,13 @@ pub struct Attribution {
     /// their time is *already inside* the five components above; this
     /// field is informational and excluded from [`busy_us`](Self::busy_us).
     pub retry_us: u64,
+    /// Memo: read requests served from the drive's read-ahead buffer.
+    /// Counts, not time — a hit's (bus-rate) time is already inside the
+    /// transfer/overhead components.
+    pub cache_hits: u64,
+    /// Memo: read requests that missed the read-ahead buffer and went to
+    /// the medium.
+    pub cache_misses: u64,
 }
 
 impl Attribution {
@@ -74,6 +81,20 @@ impl Attribution {
                 tenths % 10
             ));
         }
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            // Memo row: request counts, not time — hit time is bus-rate
+            // transfer + overhead, already inside the components above.
+            let total = self.cache_hits + self.cache_misses;
+            let tenths = (self.cache_hits * 1000).checked_div(total).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<10} {:>6} hits / {} misses  ({:>3}.{}% hit rate)\n",
+                "readahead",
+                self.cache_hits,
+                self.cache_misses,
+                tenths / 10,
+                tenths % 10
+            ));
+        }
         out
     }
 
@@ -101,6 +122,12 @@ impl Attribution {
         if self.retry_us > 0 {
             out.push_str(&format!(" [retry memo {} us]", self.retry_us));
         }
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            out.push_str(&format!(
+                " [readahead {} hits / {} misses]",
+                self.cache_hits, self.cache_misses
+            ));
+        }
         out
     }
 }
@@ -117,7 +144,7 @@ mod tests {
             transfer_us: 30,
             switch_us: 5,
             overhead_us: 7,
-            retry_us: 0,
+            ..Attribution::default()
         };
         assert_eq!(a.busy_us(), 72);
         let total: u64 = a.components().iter().map(|(_, us)| us).sum();
@@ -147,6 +174,30 @@ mod tests {
     }
 
     #[test]
+    fn readahead_memo_is_counts_only_and_quiet_when_zero() {
+        let a = Attribution {
+            transfer_us: 40,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Attribution::default()
+        };
+        assert_eq!(a.busy_us(), 40, "readahead memo must not inflate busy");
+        assert!(a.render().contains("readahead"));
+        assert!(a.render().contains("3 hits / 1 misses"));
+        assert!(a.render().contains("75.0% hit rate"));
+        assert!(a.footnote().contains("readahead 3 hits / 1 misses"));
+        // Zero counters leave both renderings untouched, so traces from
+        // cacheless runs are byte-identical to the old format.
+        let quiet = Attribution {
+            cache_hits: 0,
+            cache_misses: 0,
+            ..a
+        };
+        assert!(!quiet.render().contains("readahead"));
+        assert!(!quiet.footnote().contains("readahead"));
+    }
+
+    #[test]
     fn render_handles_zero_busy() {
         let a = Attribution::default();
         let s = a.render();
@@ -162,7 +213,7 @@ mod tests {
             transfer_us: 3,
             switch_us: 4,
             overhead_us: 5,
-            retry_us: 0,
+            ..Attribution::default()
         };
         let f = a.footnote();
         for needle in ["seek 1", "rotation 2", "transfer 3", "switch 4", "overhead 5", "busy 15"] {

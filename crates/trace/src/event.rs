@@ -173,6 +173,32 @@ pub enum Event {
         /// Live blocks that stayed unreadable after retries.
         unreadable: u64,
     },
+    /// A request entered the tagged command queue.
+    QueueSubmit {
+        /// Submission tag (the surviving tag when the request coalesced
+        /// into an earlier one).
+        tag: u64,
+        /// First sector of the request.
+        sector: u64,
+        /// Sectors covered.
+        sectors: u64,
+    },
+    /// The scheduler handed a queued request to the device.
+    QueueDispatch {
+        /// Submission tag of the chosen request.
+        tag: u64,
+        /// Pending-queue depth at dispatch time (including the chosen
+        /// request); feeds the queue-depth histogram.
+        depth: u64,
+    },
+    /// A dispatched request finished on the device.
+    QueueComplete {
+        /// Submission tag.
+        tag: u64,
+        /// Device service time (memo; this time is already attributed to
+        /// the mechanical components it used).
+        us: u64,
+    },
 }
 
 impl Event {
@@ -195,6 +221,9 @@ impl Event {
             Event::ReadRetry { .. } => "ReadRetry",
             Event::SectorRemap { .. } => "SectorRemap",
             Event::ScrubPass { .. } => "ScrubPass",
+            Event::QueueSubmit { .. } => "QueueSubmit",
+            Event::QueueDispatch { .. } => "QueueDispatch",
+            Event::QueueComplete { .. } => "QueueComplete",
         }
     }
 }
@@ -271,6 +300,17 @@ impl std::fmt::Display for TraceEvent {
                 f,
                 "ScrubPass    relocated {relocated}, remapped {remapped}, unreadable {unreadable}"
             ),
+            Event::QueueSubmit {
+                tag,
+                sector,
+                sectors,
+            } => write!(f, "QueueSubmit  tag {tag}, {sectors} sectors @ {sector}"),
+            Event::QueueDispatch { tag, depth } => {
+                write!(f, "QueueDispatch tag {tag}, depth {depth}")
+            }
+            Event::QueueComplete { tag, us } => {
+                write!(f, "QueueComplete tag {tag}, {us} us")
+            }
         }
     }
 }

@@ -96,6 +96,13 @@ pub fn encode_event(e: &TraceEvent) -> String {
             remapped,
             unreadable,
         } => format!(",\"relocated\":{relocated},\"remapped\":{remapped},\"unreadable\":{unreadable}"),
+        Event::QueueSubmit {
+            tag,
+            sector,
+            sectors,
+        } => format!(",\"tag\":{tag},\"sector\":{sector},\"sectors\":{sectors}"),
+        Event::QueueDispatch { tag, depth } => format!(",\"tag\":{tag},\"depth\":{depth}"),
+        Event::QueueComplete { tag, us } => format!(",\"tag\":{tag},\"us\":{us}"),
     };
     format!("{head}{body}}}")
 }
@@ -171,22 +178,44 @@ pub fn decode_event(line: &str) -> Option<TraceEvent> {
             remapped: get_u64(line, "remapped")?,
             unreadable: get_u64(line, "unreadable")?,
         },
+        "QueueSubmit" => Event::QueueSubmit {
+            tag: get_u64(line, "tag")?,
+            sector: get_u64(line, "sector")?,
+            sectors: get_u64(line, "sectors")?,
+        },
+        "QueueDispatch" => Event::QueueDispatch {
+            tag: get_u64(line, "tag")?,
+            depth: get_u64(line, "depth")?,
+        },
+        "QueueComplete" => Event::QueueComplete {
+            tag: get_u64(line, "tag")?,
+            us: get_u64(line, "us")?,
+        },
         _ => return None,
     };
     Some(TraceEvent { at_us, seq, event })
 }
 
-/// Encodes the attribution meta line. The `retry_us` memo is emitted only
-/// when nonzero, so fault-free traces are byte-identical to the old format.
+/// Encodes the attribution meta line. The `retry_us` and readahead memo
+/// fields are emitted only when nonzero, so traces from runs that never
+/// exercised them are byte-identical to the old format.
 pub fn encode_attribution(a: &Attribution) -> String {
     let retry = if a.retry_us > 0 {
         format!(",\"retry_us\":{}", a.retry_us)
     } else {
         String::new()
     };
+    let cache = if a.cache_hits > 0 || a.cache_misses > 0 {
+        format!(
+            ",\"cache_hits\":{},\"cache_misses\":{}",
+            a.cache_hits, a.cache_misses
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"meta\":\"attribution\",\"seek_us\":{},\"rotation_us\":{},\"transfer_us\":{},\"switch_us\":{},\"overhead_us\":{}{},\"busy_us\":{}}}",
-        a.seek_us, a.rotation_us, a.transfer_us, a.switch_us, a.overhead_us, retry, a.busy_us()
+        "{{\"meta\":\"attribution\",\"seek_us\":{},\"rotation_us\":{},\"transfer_us\":{},\"switch_us\":{},\"overhead_us\":{}{}{},\"busy_us\":{}}}",
+        a.seek_us, a.rotation_us, a.transfer_us, a.switch_us, a.overhead_us, retry, cache, a.busy_us()
     )
 }
 
@@ -202,6 +231,8 @@ pub fn decode_attribution(line: &str) -> Option<Attribution> {
         switch_us: get_u64(line, "switch_us")?,
         overhead_us: get_u64(line, "overhead_us")?,
         retry_us: get_u64(line, "retry_us").unwrap_or(0),
+        cache_hits: get_u64(line, "cache_hits").unwrap_or(0),
+        cache_misses: get_u64(line, "cache_misses").unwrap_or(0),
     })
 }
 
@@ -228,6 +259,9 @@ mod tests {
             Event::ReadRetry { sector: 4096, attempt: 2, us: 14_000 },
             Event::SectorRemap { sector: 4096 },
             Event::ScrubPass { relocated: 12, remapped: 3, unreadable: 0 },
+            Event::QueueSubmit { tag: 17, sector: 2048, sectors: 128 },
+            Event::QueueDispatch { tag: 17, depth: 6 },
+            Event::QueueComplete { tag: 17, us: 190_000 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let stamped = TraceEvent { at_us: 1000 + i as u64, seq: i as u64, event };
@@ -245,14 +279,20 @@ mod tests {
             transfer_us: 3,
             switch_us: 4,
             overhead_us: 5,
-            retry_us: 0,
+            ..Attribution::default()
         };
         let line = encode_attribution(&a);
         assert!(!line.contains("retry_us"), "zero memo stays off the wire");
+        assert!(!line.contains("cache_"), "zero memo stays off the wire");
         assert_eq!(decode_attribution(&line), Some(a));
         assert_eq!(get_u64(&line, "busy_us"), Some(15));
-        // Nonzero memo roundtrips and leaves busy untouched.
-        let b = Attribution { retry_us: 9, ..a };
+        // Nonzero memos roundtrip and leave busy untouched.
+        let b = Attribution {
+            retry_us: 9,
+            cache_hits: 2,
+            cache_misses: 1,
+            ..a
+        };
         let line = encode_attribution(&b);
         assert_eq!(decode_attribution(&line), Some(b));
         assert_eq!(get_u64(&line, "busy_us"), Some(15));

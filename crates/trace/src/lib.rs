@@ -70,6 +70,7 @@ struct Inner {
     hist_rot_us: Histogram,
     hist_seal_fill_pct: Histogram,
     hist_fsop_us: Histogram,
+    hist_queue_depth: Histogram,
 }
 
 /// A shared, cheaply-clonable tracing handle.
@@ -98,6 +99,7 @@ impl Tracer {
             hist_rot_us: Histogram::new(),
             hist_seal_fill_pct: Histogram::new(),
             hist_fsop_us: Histogram::new(),
+            hist_queue_depth: Histogram::new(),
         })))
     }
 
@@ -137,6 +139,13 @@ impl Tracer {
             // Memo only: the failed attempt's time already flowed into the
             // mechanical components via the events the disk emitted.
             Event::ReadRetry { us, .. } => inner.attr.retry_us += us,
+            // Memo counters: a hit/miss's time is already attributed to
+            // the (bus or mechanical) components the read used.
+            Event::CacheHit { .. } => inner.attr.cache_hits += 1,
+            Event::CacheMiss { .. } => inner.attr.cache_misses += 1,
+            // Queue events carry no time of their own — the device charges
+            // every microsecond when the request actually dispatches.
+            Event::QueueDispatch { depth, .. } => inner.hist_queue_depth.record(depth),
             _ => {}
         }
         let seq = inner.seq;
@@ -209,13 +218,14 @@ impl Tracer {
     }
 
     /// The metric histograms as `(name, unit, histogram)` triples.
-    pub fn histograms(&self) -> [(&'static str, &'static str, Histogram); 4] {
+    pub fn histograms(&self) -> [(&'static str, &'static str, Histogram); 5] {
         let inner = self.0.borrow();
         [
             ("seek_distance", "cyl", inner.hist_seek_cyl),
             ("rotational_wait", "us", inner.hist_rot_us),
             ("segment_fill_at_seal", "%", inner.hist_seal_fill_pct),
             ("fs_op_latency", "us", inner.hist_fsop_us),
+            ("queue_depth", "reqs", inner.hist_queue_depth),
         ]
     }
 

@@ -191,6 +191,20 @@ fn selftest() -> ExitCode {
             clock += 1_600;
             busy += 1_600;
         }
+        // Queue + read-ahead memo events: no busy time of their own (the
+        // mechanical components above already carry it), but they must
+        // survive the JSONL roundtrip, feed the queue-depth histogram,
+        // and land in the attribution memo counters.
+        if i % 4 == 0 {
+            t.record(clock, Event::QueueSubmit { tag: i, sector: i * 64, sectors: 8 });
+            t.record(clock, Event::QueueDispatch { tag: i, depth: 1 + i % 6 });
+            t.record(clock, Event::QueueComplete { tag: i, us: xfer });
+        }
+        if i % 5 == 0 {
+            t.record(clock, Event::CacheHit { sector: i * 64, sectors: 8 });
+        } else if i % 5 == 1 {
+            t.record(clock, Event::CacheMiss { sector: i * 64, sectors: 8 });
+        }
         if i % 25 == 0 {
             t.record(
                 clock,
@@ -219,6 +233,23 @@ fn selftest() -> ExitCode {
         eprintln!(
             "ldtrace selftest: attribution busy {} != expected {busy}",
             a.busy_us()
+        );
+        return ExitCode::FAILURE;
+    }
+    if a.cache_hits != 40 || a.cache_misses != 40 {
+        eprintln!(
+            "ldtrace selftest: read-ahead memo counters wrong ({}/{}, expected 40/40)",
+            a.cache_hits, a.cache_misses
+        );
+        return ExitCode::FAILURE;
+    }
+    // 50 dispatches at depths 1..=6 feed the queue-depth histogram.
+    let (qname, _, qdepth) = &t.histograms()[4];
+    if *qname != "queue_depth" || qdepth.count() != 50 || qdepth.max() != 5 {
+        eprintln!(
+            "ldtrace selftest: queue-depth histogram wrong ({qname}, n={}, max={})",
+            qdepth.count(),
+            qdepth.max()
         );
         return ExitCode::FAILURE;
     }

@@ -32,6 +32,11 @@
 //!    counters, or `ld-trace` events. CLI entry points (`main.rs`,
 //!    `bin/`) are exempt; a deliberate library print may be waived with
 //!    `// PRINT-OK: <why>`.
+//! 5. **Deterministic dispatch order in the I/O scheduler.** The command
+//!    queue promises bit-reproducible schedules (ties break by submission
+//!    order); iterating a `HashMap`/`HashSet` there would let hasher state
+//!    pick the dispatch order. The scheduler module must use only ordered
+//!    containers (`Vec`, `VecDeque`, `BTreeMap`).
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -92,6 +97,10 @@ const FS_CRATES: &[&str] = &["minix-fs", "ffs", "sprite-lfs"];
 /// `SparseStore`, `SimDisk` geometry/timing/stats, NVRAM internals — is
 /// disk-management detail the LD interface exists to hide.
 const SIMDISK_ALLOWED: &[&str] = &["BlockDev", "DiskError", "SECTOR_SIZE"];
+
+/// Files implementing request scheduling, where iteration order decides
+/// the dispatch order and must therefore never come from a hasher.
+const DISPATCH_ORDER_FILES: &[&str] = &["crates/simdisk/src/queue.rs"];
 
 /// Per-line waiver marker for documented invariants.
 const WAIVER: &str = "PANIC-OK:";
@@ -207,6 +216,7 @@ fn check_file(root: &Path, path: &Path, lint: &mut Lint, krate: &str) {
     let panic_free = PANIC_FREE_CRATES.contains(&krate);
     let deterministic = DETERMINISTIC_CRATES.contains(&krate);
     let fs_crate = FS_CRATES.contains(&krate);
+    let dispatch_order = DISPATCH_ORDER_FILES.contains(&rel.as_str());
     // CLI entry points may print — that is their job.
     let cli_entry = path.file_name().is_some_and(|n| n == "main.rs")
         || path.components().any(|c| c.as_os_str() == "bin");
@@ -304,6 +314,19 @@ fn check_file(root: &Path, path: &Path, lint: &mut Lint, krate: &str) {
             }
         }
 
+        if dispatch_order && !waived {
+            for tok in ["HashMap", "HashSet", "hash_map", "hash_set"] {
+                if code.contains(tok) {
+                    report(
+                        lint,
+                        &format!("unordered container `{tok}` in the I/O scheduler"),
+                        "hasher state would decide dispatch order; \
+                         use Vec/VecDeque/BTreeMap so schedules replay bit-identically",
+                    );
+                }
+            }
+        }
+
         if fs_crate {
             for hit in find_simdisk_refs(code) {
                 if !SIMDISK_ALLOWED.contains(&hit.as_str()) {
@@ -370,6 +393,19 @@ fn ci() -> ExitCode {
             &[
                 "test", "-q", "--release", "--test", "fault_matrix", "--test",
                 "differential_fs",
+            ],
+        ),
+        // Queueing: the depth-1 differential + ordering proptests, then
+        // the E17 smoke sweep (schedulers x depths over the cleaner).
+        (
+            "queue differential",
+            &["test", "-q", "--release", "--test", "queue_differential"],
+        ),
+        (
+            "E17 smoke",
+            &[
+                "run", "-q", "--release", "-p", "ld-bench", "--bin", "repro", "--", "--quick",
+                "queueing",
             ],
         ),
         ("clippy", &["clippy", "--workspace", "--", "-D", "warnings"]),

@@ -9,12 +9,28 @@ use logical_disk_repro::minix_fs::{FsConfig, FsCpuModel, LdStore, MinixFs};
 use logical_disk_repro::simdisk::SimDisk;
 use proptest::prelude::*;
 
-fn configs() -> (LldConfig, FsConfig) {
+/// Queue sampling: 0 = queueing off (the historical direct path),
+/// 1 = LOOK at depth 4 with write-behind, 2 = SATF at depth 8. The
+/// crash invariants must hold identically — write-behind may only lose
+/// an *unacknowledged* suffix, never synced data.
+fn queue_config(mode: u8) -> (u32, u32, logical_disk_repro::simdisk::Scheduler) {
+    match mode {
+        1 => (4, 3, logical_disk_repro::simdisk::Scheduler::Look),
+        2 => (8, 4, logical_disk_repro::simdisk::Scheduler::Satf),
+        _ => (0, 0, logical_disk_repro::simdisk::Scheduler::Fcfs),
+    }
+}
+
+fn configs(queue_mode: u8) -> (LldConfig, FsConfig) {
+    let (queue_depth, writeback_depth, scheduler) = queue_config(queue_mode);
     (
         LldConfig {
             segment_bytes: 64 << 10,
             summary_bytes: 4 << 10,
             cpu: logical_disk_repro::lld::CpuModel::free(),
+            queue_depth,
+            writeback_depth,
+            scheduler,
             ..LldConfig::default()
         },
         FsConfig {
@@ -40,8 +56,9 @@ proptest! {
         crash_after in 1u64..6_000,
         nfiles in 4usize..24,
         syncs in proptest::collection::vec(any::<bool>(), 24),
+        queue_mode in 0u8..3,
     ) {
-        let (lld_config, fs_config) = configs();
+        let (lld_config, fs_config) = configs(queue_mode);
         let store = LdStore::format(
             SimDisk::hp_c3010_with_capacity(24 << 20),
             lld_config.clone(),

@@ -22,9 +22,24 @@ use logical_disk_repro::minix_fs::{FsConfig, FsCpuModel, LdStore, MinixFs};
 use logical_disk_repro::simdisk::{FaultConfig, SimDisk};
 use proptest::prelude::*;
 
-fn configs() -> (LldConfig, FsConfig) {
+/// Queue sampling mirrors tests/crash_matrix.rs: 0 = queueing off,
+/// 1 = LOOK at depth 4 with write-behind, 2 = SATF at depth 8. Media
+/// faults and crashes must be survivable with requests in flight.
+fn queue_config(mode: u8) -> (u32, u32, logical_disk_repro::simdisk::Scheduler) {
+    match mode {
+        1 => (4, 3, logical_disk_repro::simdisk::Scheduler::Look),
+        2 => (8, 4, logical_disk_repro::simdisk::Scheduler::Satf),
+        _ => (0, 0, logical_disk_repro::simdisk::Scheduler::Fcfs),
+    }
+}
+
+fn configs(queue_mode: u8) -> (LldConfig, FsConfig) {
+    let (queue_depth, writeback_depth, scheduler) = queue_config(queue_mode);
     (
         LldConfig {
+            queue_depth,
+            writeback_depth,
+            scheduler,
             segment_bytes: 64 << 10,
             summary_bytes: 4 << 10,
             // Deep enough for a multi-fault span: each retry of a span
@@ -62,8 +77,9 @@ proptest! {
         crash_after in 1u64..6_000,
         nfiles in 4usize..16,
         syncs in proptest::collection::vec(any::<bool>(), 16),
+        queue_mode in 0u8..3,
     ) {
-        let (lld_config, fs_config) = configs();
+        let (lld_config, fs_config) = configs(queue_mode);
         let fault_cfg = FaultConfig {
             seed: fault_seed,
             transient_ppm,
@@ -197,8 +213,9 @@ proptest! {
         latent_ppm in 0u32..=1_500,
         transient_ppm in 0u32..=3_000,
         nfiles in 6usize..24,
+        queue_mode in 0u8..3,
     ) {
-        let (lld_config, fs_config) = configs();
+        let (lld_config, fs_config) = configs(queue_mode);
         let store = LdStore::format(
             SimDisk::hp_c3010_with_capacity(24 << 20),
             lld_config.clone(),
